@@ -1,0 +1,53 @@
+"""Behavioural circuit substrate for the TIMELY reproduction.
+
+Every analog or mixed-signal block the paper relies on is modelled here as a
+small, numerically exercised Python class:
+
+* :mod:`repro.circuits.reram` — ReRAM cells and crossbar arrays,
+* :mod:`repro.circuits.converters` — DTC/TDC (time domain) and DAC/ADC
+  (voltage domain) interfaces,
+* :mod:`repro.circuits.analog_buffers` — X-subBuf, P-subBuf, I-adder,
+  charging unit and comparator,
+* :mod:`repro.circuits.timing` — the two-phase time-domain dot product
+  (Eq. 2 of the paper) and the sub-ranging MSB/LSB composition,
+* :mod:`repro.circuits.noise` — Gaussian/PVT noise models and the cascaded
+  X-subBuf error budget,
+* :mod:`repro.circuits.components` — the energy/area/latency spec record used
+  to describe each physical component.
+
+The architecture-level models (:mod:`repro.arch`, :mod:`repro.energy`) consume
+only the energy/area/latency numbers; the behavioural methods are used by the
+accuracy study and the unit tests.
+"""
+
+from repro.circuits.components import ComponentSpec
+from repro.circuits.converters import ADC, DAC, DTC, TDC
+from repro.circuits.analog_buffers import (
+    ChargingUnit,
+    Comparator,
+    CurrentAdder,
+    PSubBuf,
+    XSubBuf,
+)
+from repro.circuits.noise import HardwareNoiseConfig, cascaded_buffer_error
+from repro.circuits.reram import ReRAMCellSpec, ReRAMCrossbar
+from repro.circuits.timing import SubRangingDotProduct, TimeDomainDotProduct
+
+__all__ = [
+    "ComponentSpec",
+    "DTC",
+    "TDC",
+    "DAC",
+    "ADC",
+    "XSubBuf",
+    "PSubBuf",
+    "CurrentAdder",
+    "ChargingUnit",
+    "Comparator",
+    "ReRAMCellSpec",
+    "ReRAMCrossbar",
+    "TimeDomainDotProduct",
+    "SubRangingDotProduct",
+    "HardwareNoiseConfig",
+    "cascaded_buffer_error",
+]

@@ -1,0 +1,179 @@
+"""Analog local buffers (ALBs) and the column read-out chain.
+
+These are the blocks that let TIMELY keep inputs and partial sums in the
+analog domain inside a sub-Chip (Fig. 6 of the paper):
+
+* :class:`XSubBuf` — a time-signal latch (two cross-coupled inverters plus an
+  output inverter) that copies the input delay to its output; it sits between
+  horizontally adjacent crossbars and forwards the time-domain inputs.
+* :class:`PSubBuf` — an NMOS current mirror that copies a column's partial-sum
+  current towards the I-adder; it sits between vertically adjacent crossbars.
+* :class:`CurrentAdder` — sums the mirrored column currents of all crossbars
+  in one sub-Chip column (KCL at a single node).
+* :class:`ChargingUnit` — integrates the summed current onto a capacitor
+  (phase I) and then applies a constant current (phase II) until the
+  comparator threshold is reached.
+* :class:`Comparator` — detects the threshold crossing, producing the output
+  time signal that the TDC digitises.
+
+All behavioural methods are exact apart from the optional Gaussian errors
+configured through :class:`repro.circuits.noise.HardwareNoiseConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.circuits.noise import HardwareNoiseConfig
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class XSubBuf:
+    """Time-domain analog local buffer for inputs (the "X" in X-subBuf).
+
+    The latch copies the input delay to its output; the only non-ideality is a
+    small timing error per hop.  X-subBufs are reset every pipeline cycle via
+    the ``phi`` signal, which is why their error does not accumulate across
+    cycles — only across the (bounded) horizontal cascade within one cycle.
+    """
+
+    energy_fj: float = 0.62
+    area_um2: float = 5.0
+    unit_delay_s: float = 50e-12
+
+    def latch(self, delay_s: ArrayLike, noise: Optional[HardwareNoiseConfig] = None) -> ArrayLike:
+        """Copy a time signal to the buffer output, adding per-hop jitter."""
+        delays = np.asarray(delay_s, dtype=float)
+        if np.any(delays < 0):
+            raise ValueError("time signals must be non-negative")
+        if noise is not None and noise.x_subbuf_sigma > 0:
+            delays = delays + noise.sample(
+                noise.x_subbuf_sigma * self.unit_delay_s, np.shape(delays)
+            )
+            delays = np.clip(delays, 0.0, None)
+        if np.isscalar(delay_s):
+            return float(delays)
+        return delays
+
+    def cascade(
+        self,
+        delay_s: ArrayLike,
+        hops: int,
+        noise: Optional[HardwareNoiseConfig] = None,
+    ) -> ArrayLike:
+        """Pass a time signal through ``hops`` consecutive X-subBufs."""
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        result = delay_s
+        for _ in range(hops):
+            result = self.latch(result, noise)
+        return result
+
+
+@dataclass(frozen=True)
+class PSubBuf:
+    """Current-mirror analog local buffer for partial sums (the "P" in P-subBuf)."""
+
+    energy_fj: float = 2.3
+    area_um2: float = 5.0
+
+    def mirror(self, current_a: ArrayLike, noise: Optional[HardwareNoiseConfig] = None) -> ArrayLike:
+        """Copy a current to the buffer output with a small gain error."""
+        currents = np.asarray(current_a, dtype=float)
+        if noise is not None and noise.p_subbuf_sigma > 0:
+            gain_error = noise.sample(noise.p_subbuf_sigma, np.shape(currents))
+            currents = currents * (1.0 + gain_error)
+        if np.isscalar(current_a):
+            return float(currents)
+        return currents
+
+
+@dataclass(frozen=True)
+class CurrentAdder:
+    """I-adder: sums the partial-sum currents of one sub-Chip column."""
+
+    energy_fj: float = 36.8
+    area_um2: float = 40.0
+
+    def sum(
+        self,
+        currents_a: Sequence[ArrayLike],
+        noise: Optional[HardwareNoiseConfig] = None,
+    ) -> ArrayLike:
+        """Sum currents arriving from the P-subBufs of one sub-Chip column."""
+        stacked = np.asarray(list(currents_a), dtype=float)
+        total = stacked.sum(axis=0)
+        if noise is not None and noise.i_adder_sigma > 0:
+            scale = np.max(np.abs(total)) if np.size(total) else 0.0
+            total = total + noise.sample(noise.i_adder_sigma * max(scale, 1e-30), np.shape(total))
+        if np.isscalar(currents_a[0]) and np.ndim(total) == 0:
+            return float(total)
+        return total
+
+
+@dataclass(frozen=True)
+class ChargingUnit:
+    """Capacitor-charging block implementing the two-phase scheme of Eq. 2."""
+
+    capacitance_f: float = 1e-12
+    v_dd: float = 1.2
+    energy_fj: float = 41.7
+    area_um2: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance_f <= 0:
+            raise ValueError("capacitance must be positive")
+        if self.v_dd <= 0:
+            raise ValueError("V_DD must be positive")
+
+    def charge_to_voltage(self, charge_c: ArrayLike) -> ArrayLike:
+        """Voltage reached after integrating ``charge_c`` coulombs (V = Q/C)."""
+        charge = np.asarray(charge_c, dtype=float)
+        voltage = charge / self.capacitance_f
+        if np.isscalar(charge_c):
+            return float(voltage)
+        return voltage
+
+    def phase2_time_to_threshold(
+        self, v_phase1: ArrayLike, v_threshold: float, constant_current_a: float
+    ) -> ArrayLike:
+        """Phase-II time needed to reach the comparator threshold.
+
+        ``T_x = (V_th - V_phase1) * C / I_c``.  A larger phase-I charge (a
+        larger dot product) leaves less to charge in phase II, so the
+        threshold-crossing happens earlier; the output time of the column is
+        defined as ``T~ - T_x`` (Fig. 6(e)(g)).
+        """
+        if constant_current_a <= 0:
+            raise ValueError("phase-II current must be positive")
+        v1 = np.asarray(v_phase1, dtype=float)
+        remaining = np.clip(v_threshold - v1, 0.0, None)
+        times = remaining * self.capacitance_f / constant_current_a
+        if np.isscalar(v_phase1):
+            return float(times)
+        return times
+
+
+@dataclass(frozen=True)
+class Comparator:
+    """Threshold comparator producing the time-domain output edge."""
+
+    v_threshold: float = 0.6
+    energy_fj: float = 0.0  # included in the charging-unit figure of Table II
+    area_um2: float = 0.0
+
+    def crosses(self, voltage: ArrayLike, noise: Optional[HardwareNoiseConfig] = None) -> ArrayLike:
+        """True where the input voltage exceeds the (possibly noisy) threshold."""
+        voltages = np.asarray(voltage, dtype=float)
+        threshold = self.v_threshold
+        if noise is not None and noise.comparator_sigma > 0:
+            threshold = threshold + float(noise.sample(noise.comparator_sigma * self.v_threshold))
+        result = voltages >= threshold
+        if np.isscalar(voltage):
+            return bool(result)
+        return result

@@ -1,0 +1,54 @@
+"""Physical component specification records.
+
+Each physical block in a TIMELY sub-Chip (or in a baseline accelerator) is
+described by a :class:`ComponentSpec`: its per-operation energy, its area and
+its latency.  The concrete numbers for TIMELY come from Table II of the paper
+and are collected in :mod:`repro.energy.tables`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Energy / area / latency description of one physical component.
+
+    Attributes
+    ----------
+    name:
+        Component name (e.g. ``"dtc"``, ``"x_subbuf"``).
+    energy_fj:
+        Energy per activation, in femtojoules.
+    area_um2:
+        Area per instance, in square micrometres.
+    latency_ns:
+        Latency per activation, in nanoseconds (0 when it is hidden behind
+        another pipeline stage and never on the critical path).
+    """
+
+    name: str
+    energy_fj: float
+    area_um2: float = 0.0
+    latency_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.energy_fj < 0 or self.area_um2 < 0 or self.latency_ns < 0:
+            raise ValueError(f"component {self.name!r} has a negative spec value")
+
+    def scaled(self, energy_factor: float = 1.0, area_factor: float = 1.0) -> "ComponentSpec":
+        """Return a copy with energy and/or area scaled (used in what-if studies)."""
+        return replace(
+            self,
+            energy_fj=self.energy_fj * energy_factor,
+            area_um2=self.area_um2 * area_factor,
+        )
+
+    @property
+    def energy_pj(self) -> float:
+        return self.energy_fj / 1e3
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 / 1e6

@@ -1,0 +1,133 @@
+"""Noise, variation and error-budget models.
+
+Section V of the paper discusses the accuracy implications of TIMELY's analog
+data movement: every X-subBuf adds a small timing error ``eps``; ``n`` cascaded
+X-subBufs accumulate an error of ``sqrt(n) * eps`` (random-walk accumulation,
+citing the Vernier delay-line analysis of [20]); the design budgets a 40 ps
+margin per 50 ps unit delay and limits the cascade depth to 12 so that
+``sqrt(12) * eps`` stays inside the margin.
+
+The models here are deliberately simple — zero-mean Gaussians with configurable
+standard deviation — because that is exactly the error model the paper's own
+system-level simulation uses ("the errors follow Gaussian noise distribution").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+def cascaded_buffer_error(n_buffers: int, epsilon: float) -> float:
+    """Accumulated RMS error of ``n_buffers`` cascaded analog buffers.
+
+    Independent zero-mean per-buffer errors add in quadrature, giving
+    ``sqrt(n) * eps`` (Section V / [20] of the paper).
+    """
+    if n_buffers < 0:
+        raise ValueError("n_buffers must be non-negative")
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    return math.sqrt(n_buffers) * epsilon
+
+
+@dataclass(frozen=True)
+class NoiseBudget:
+    """The timing-error budget of a TIMELY sub-Chip row.
+
+    Attributes mirror the numbers in Section V: a 50 ps unit delay, a margin of
+    40 ps per unit delay, up to 12 cascaded X-subBufs, and a per-buffer error
+    ``epsilon_ps``.
+    """
+
+    unit_delay_ps: float = 50.0
+    margin_ps_per_unit: float = 40.0
+    max_cascaded_bufs: int = 12
+    epsilon_ps: float = 5.0
+    input_bits: int = 8
+
+    @property
+    def total_margin_ps(self) -> float:
+        """Design margin over the full input dynamic range (40 ps x 2^8)."""
+        return self.margin_ps_per_unit * (2 ** self.input_bits)
+
+    @property
+    def accumulated_error_ps(self) -> float:
+        """Worst-case accumulated error over the full dynamic range.
+
+        The per-buffer error scales with the signal (one epsilon per unit
+        delay step), matching the paper's ``sqrt(12) * eps < 20 x 2^8 ps``
+        bound.
+        """
+        return cascaded_buffer_error(self.max_cascaded_bufs, self.epsilon_ps) * (
+            2 ** self.input_bits
+        )
+
+    def within_margin(self) -> bool:
+        """True when the accumulated error fits inside the design margin."""
+        return self.accumulated_error_ps <= self.total_margin_ps
+
+
+@dataclass
+class HardwareNoiseConfig:
+    """Standard deviations of the per-component Gaussian error models.
+
+    All timing errors are expressed as a fraction of the DTC unit delay; all
+    current/voltage errors are expressed as a fraction of the full-scale
+    signal.  Setting every sigma to zero recovers the ideal behavioural model.
+    """
+
+    x_subbuf_sigma: float = 0.02
+    p_subbuf_sigma: float = 0.005
+    i_adder_sigma: float = 0.002
+    comparator_sigma: float = 0.002
+    dtc_sigma: float = 0.01
+    tdc_sigma: float = 0.01
+    reram_conductance_sigma: float = 0.01
+    seed: Optional[int] = None
+    _rng: np.random.Generator = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "x_subbuf_sigma",
+            "p_subbuf_sigma",
+            "i_adder_sigma",
+            "comparator_sigma",
+            "dtc_sigma",
+            "tdc_sigma",
+            "reram_conductance_sigma",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    @classmethod
+    def ideal(cls) -> "HardwareNoiseConfig":
+        """A configuration with all noise sources disabled."""
+        return cls(
+            x_subbuf_sigma=0.0,
+            p_subbuf_sigma=0.0,
+            i_adder_sigma=0.0,
+            comparator_sigma=0.0,
+            dtc_sigma=0.0,
+            tdc_sigma=0.0,
+            reram_conductance_sigma=0.0,
+        )
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    def reseed(self, seed: int) -> None:
+        """Re-seed the generator (used to make Monte-Carlo runs reproducible)."""
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, sigma: float, shape=None) -> np.ndarray:
+        """Draw zero-mean Gaussian samples with the given sigma."""
+        if sigma == 0.0:
+            return np.zeros(shape) if shape is not None else np.array(0.0)
+        return self._rng.normal(0.0, sigma, size=shape)

@@ -1,0 +1,176 @@
+"""ReRAM cell and crossbar behavioural models.
+
+A ReRAM cell stores a weight as a programmable conductance; a crossbar of
+``B x B`` cells performs an analog vector-matrix multiplication: the inputs
+bias the rows, each cell contributes a current ``V_i * G_ij`` (Ohm's law), and
+the column currents sum by Kirchhoff's current law (Section II-B).
+
+TIMELY drives the rows with *time* signals instead of voltages; the crossbar
+model therefore exposes both views:
+
+* :meth:`ReRAMCrossbar.column_currents` — voltage-mode operation (PRIME/ISAAC),
+* :meth:`ReRAMCrossbar.column_charges` — time-mode operation, where each cell
+  contributes a charge ``V_DD * T_i * G_ij`` that is later integrated on the
+  charging capacitor (TIMELY, Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.noise import HardwareNoiseConfig
+
+
+@dataclass(frozen=True)
+class ReRAMCellSpec:
+    """Programmable-conductance cell description.
+
+    ``bits_per_cell`` conductance levels are spaced uniformly between
+    ``g_min = 1/r_max`` (the lowest, "off" level encoding weight 0) and
+    ``g_max = 1/r_min``.
+    """
+
+    bits_per_cell: int = 4
+    r_min_ohm: float = 20e3
+    r_max_ohm: float = 2e6
+
+    def __post_init__(self) -> None:
+        if self.bits_per_cell <= 0:
+            raise ValueError("bits_per_cell must be positive")
+        if self.r_min_ohm <= 0 or self.r_max_ohm <= self.r_min_ohm:
+            raise ValueError("require 0 < r_min < r_max")
+
+    @property
+    def levels(self) -> int:
+        return 2 ** self.bits_per_cell
+
+    @property
+    def g_min_s(self) -> float:
+        return 1.0 / self.r_max_ohm
+
+    @property
+    def g_max_s(self) -> float:
+        return 1.0 / self.r_min_ohm
+
+    @property
+    def g_step_s(self) -> float:
+        """Conductance increment per weight level."""
+        return (self.g_max_s - self.g_min_s) / (self.levels - 1)
+
+    def weight_to_conductance(self, weights: np.ndarray) -> np.ndarray:
+        """Map integer weight levels ``[0, levels-1]`` to conductances (siemens)."""
+        values = np.asarray(weights)
+        if np.any(values < 0) or np.any(values > self.levels - 1):
+            raise ValueError(
+                f"weights must lie in [0, {self.levels - 1}] for a "
+                f"{self.bits_per_cell}-bit cell"
+            )
+        return self.g_min_s + values * self.g_step_s
+
+    def conductance_to_weight(self, conductance: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`weight_to_conductance` (nearest level)."""
+        levels = np.round((np.asarray(conductance) - self.g_min_s) / self.g_step_s)
+        return np.clip(levels, 0, self.levels - 1).astype(np.int64)
+
+
+class ReRAMCrossbar:
+    """A ``rows x cols`` crossbar of ReRAM cells holding unsigned weight levels."""
+
+    def __init__(
+        self,
+        rows: int = 256,
+        cols: int = 256,
+        cell: Optional[ReRAMCellSpec] = None,
+        noise: Optional[HardwareNoiseConfig] = None,
+    ):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("crossbar dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.cell = cell or ReRAMCellSpec()
+        self.noise = noise
+        self._weights = np.zeros((rows, cols), dtype=np.int64)
+        self._conductances = self.cell.weight_to_conductance(self._weights)
+
+    # -- programming ----------------------------------------------------------
+    @property
+    def weights(self) -> np.ndarray:
+        """The programmed integer weight levels (read-only copy)."""
+        return self._weights.copy()
+
+    @property
+    def conductances(self) -> np.ndarray:
+        """Programmed conductances, including programming variation if enabled."""
+        return self._conductances.copy()
+
+    def program(self, weights: np.ndarray) -> None:
+        """Program integer weight levels into the array.
+
+        ``weights`` may be smaller than the array, in which case it is placed
+        in the top-left corner and the rest of the array keeps weight 0 — this
+        mirrors partially utilised crossbars in real mappings.
+        """
+        values = np.asarray(weights, dtype=np.int64)
+        if values.ndim != 2:
+            raise ValueError("weights must be a 2-D array")
+        if values.shape[0] > self.rows or values.shape[1] > self.cols:
+            raise ValueError(
+                f"weights of shape {values.shape} do not fit a "
+                f"{self.rows}x{self.cols} crossbar"
+            )
+        full = np.zeros((self.rows, self.cols), dtype=np.int64)
+        full[: values.shape[0], : values.shape[1]] = values
+        self._weights = full
+        conductances = self.cell.weight_to_conductance(full)
+        if self.noise is not None and self.noise.reram_conductance_sigma > 0:
+            variation = self.noise.sample(
+                self.noise.reram_conductance_sigma, conductances.shape
+            )
+            conductances = conductances * (1.0 + variation)
+            conductances = np.clip(conductances, 0.0, None)
+        self._conductances = conductances
+
+    # -- voltage-mode operation (PRIME / ISAAC style) ---------------------------
+    def column_currents(self, row_voltages: np.ndarray) -> np.ndarray:
+        """Column currents for the given row voltages (amperes).
+
+        ``I_j = sum_i V_i * G_ij`` — the analog dot product of Section II-B.
+        """
+        voltages = np.asarray(row_voltages, dtype=float)
+        if voltages.shape != (self.rows,):
+            raise ValueError(f"expected {self.rows} row voltages, got {voltages.shape}")
+        return voltages @ self._conductances
+
+    # -- time-mode operation (TIMELY style) --------------------------------------
+    def column_charges(self, row_times: np.ndarray, v_dd: float = 1.2) -> np.ndarray:
+        """Column charges when rows are driven for ``row_times`` seconds at V_DD.
+
+        Each cell conducts ``V_DD * G_ij`` for ``T_i`` seconds, contributing a
+        charge ``V_DD * G_ij * T_i``; charges sum along the column.  This is
+        the phase-I charging of the two-phase scheme in Section IV-C.
+        """
+        times = np.asarray(row_times, dtype=float)
+        if times.shape != (self.rows,):
+            raise ValueError(f"expected {self.rows} row times, got {times.shape}")
+        if np.any(times < 0):
+            raise ValueError("row times must be non-negative")
+        return v_dd * (times @ self._conductances)
+
+    # -- ideal reference -----------------------------------------------------------
+    def ideal_dot_product(self, row_levels: np.ndarray) -> np.ndarray:
+        """Integer dot product of input levels with the programmed weight levels.
+
+        This is the exact result the analog array approximates; tests compare
+        the analog paths against it.
+        """
+        levels = np.asarray(row_levels, dtype=np.int64)
+        if levels.shape != (self.rows,):
+            raise ValueError(f"expected {self.rows} input levels, got {levels.shape}")
+        return levels @ self._weights
+
+    def utilization(self) -> float:
+        """Fraction of cells holding a non-zero weight level."""
+        return float(np.count_nonzero(self._weights)) / float(self.rows * self.cols)

@@ -1,0 +1,166 @@
+"""Numpy reference kernels.
+
+These kernels provide a framework-free functional execution path used by
+
+* the accuracy study (:mod:`repro.accuracy`), which re-runs inference with the
+  behavioural circuit models injected in place of the ideal dot product, and
+* the circuit unit tests, which cross-check the analog crossbar / time-domain
+  dot-product models against these exact implementations.
+
+All kernels operate on single images (no batch dimension) laid out as
+``(channels, height, width)``, matching :class:`repro.nn.layers.TensorShape`,
+except where noted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Element-wise rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def pad_spatial(x: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad the two trailing spatial dimensions of a (C, H, W) tensor."""
+    if pad == 0:
+        return x
+    return np.pad(x, ((0, 0), (pad, pad), (pad, pad)), mode="constant")
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, pad: int) -> Tuple[np.ndarray, int, int]:
+    """Unfold a (C, H, W) tensor into convolution patches.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(out_h * out_w, C * kernel * kernel)`` — one row per
+        output position, matching how inputs are presented to a crossbar.
+    out_h, out_w:
+        Spatial output dimensions.
+    """
+    channels, height, width = x.shape
+    padded = pad_spatial(x, pad)
+    out_h = (height + 2 * pad - kernel) // stride + 1
+    out_w = (width + 2 * pad - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("kernel/stride/pad combination produces empty output")
+
+    cols = np.empty((out_h * out_w, channels * kernel * kernel), dtype=padded.dtype)
+    row = 0
+    for i in range(out_h):
+        for j in range(out_w):
+            patch = padded[:, i * stride : i * stride + kernel, j * stride : j * stride + kernel]
+            cols[row] = patch.reshape(-1)
+            row += 1
+    return cols, out_h, out_w
+
+
+def conv2d(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    pad: int = 0,
+    matmul: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+) -> np.ndarray:
+    """2-D convolution via im2col.
+
+    Parameters
+    ----------
+    x:
+        Input tensor of shape ``(C, H, W)``.
+    weights:
+        Weight tensor of shape ``(D, C, Z, G)``.
+    bias:
+        Optional bias of shape ``(D,)``.
+    stride, pad:
+        Convolution stride and symmetric zero padding.
+    matmul:
+        Optional replacement for the matrix multiplication.  The accuracy
+        study passes the behavioural crossbar model here so that the same
+        functional path exercises the hardware model.
+    """
+    out_channels, in_channels, kernel_h, kernel_w = weights.shape
+    if kernel_h != kernel_w:
+        raise ValueError("conv2d reference kernel assumes square filters")
+    if x.shape[0] != in_channels:
+        raise ValueError(f"expected {in_channels} input channels, got {x.shape[0]}")
+
+    cols, out_h, out_w = im2col(x, kernel_h, stride, pad)
+    weight_matrix = weights.reshape(out_channels, -1).T  # (C*Z*G, D)
+    multiply = matmul if matmul is not None else np.matmul
+    out = multiply(cols, weight_matrix)  # (out_h*out_w, D)
+    if bias is not None:
+        out = out + bias
+    return out.T.reshape(out_channels, out_h, out_w)
+
+
+def fully_connected(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    matmul: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+) -> np.ndarray:
+    """Dense layer: ``y = x @ W^T + b`` with ``W`` of shape (out, in)."""
+    flat = x.reshape(-1)
+    if flat.shape[0] != weights.shape[1]:
+        raise ValueError(
+            f"expected {weights.shape[1]} input features, got {flat.shape[0]}"
+        )
+    multiply = matmul if matmul is not None else np.matmul
+    out = multiply(flat[None, :], weights.T)[0]
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def max_pool2d(x: np.ndarray, kernel: int, stride: int = 0) -> np.ndarray:
+    """Max pooling of a (C, H, W) tensor."""
+    return _pool2d(x, kernel, stride, np.max)
+
+
+def avg_pool2d(x: np.ndarray, kernel: int, stride: int = 0) -> np.ndarray:
+    """Average pooling of a (C, H, W) tensor."""
+    return _pool2d(x, kernel, stride, np.mean)
+
+
+def _pool2d(x: np.ndarray, kernel: int, stride: int, reducer) -> np.ndarray:
+    stride = stride if stride > 0 else kernel
+    channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("pooling window does not fit the input")
+    out = np.empty((channels, out_h, out_w), dtype=x.dtype)
+    for i in range(out_h):
+        for j in range(out_w):
+            window = x[:, i * stride : i * stride + kernel, j * stride : j * stride + kernel]
+            out[:, i, j] = reducer(window.reshape(channels, -1), axis=1)
+    return out
+
+
+def global_avg_pool(x: np.ndarray) -> np.ndarray:
+    """Global average pooling of a (C, H, W) tensor to a (C,) vector."""
+    return x.reshape(x.shape[0], -1).mean(axis=1)
+
+
+def batch_norm(
+    x: np.ndarray, scale: np.ndarray, shift: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Inference-time batch normalisation with pre-folded statistics.
+
+    ``scale`` and ``shift`` are per-channel and already include the running
+    mean/variance, i.e. ``y = scale * x + shift``.
+    """
+    return x * scale[:, None, None] + shift[:, None, None]

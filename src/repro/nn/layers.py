@@ -1,0 +1,326 @@
+"""Layer descriptors and shape inference.
+
+The accelerator models in this repository never execute a framework graph;
+they consume a light-weight, framework-free description of each layer: its
+kind, its parameter tensor sizes, and how an input shape maps to an output
+shape.  The classes here provide exactly that.
+
+The naming of the dimensions follows Table I of the paper:
+
+========  =========================================
+symbol    meaning
+========  =========================================
+``C``     input channels
+``D``     output channels
+``H/W``   input feature-map height / width
+``Z/G``   filter height / width
+``S``     stride
+``E/F``   output feature-map height / width
+========  =========================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """Shape of an activation tensor (single image, i.e. batch dimension of 1).
+
+    Fully-connected activations are represented with ``height == width == 1``
+    and ``channels`` holding the feature count.
+    """
+
+    channels: int
+    height: int = 1
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.height <= 0 or self.width <= 0:
+            raise ValueError(f"TensorShape dimensions must be positive, got {self}")
+
+    @property
+    def elements(self) -> int:
+        """Total number of scalar elements in the tensor."""
+        return self.channels * self.height * self.width
+
+    @property
+    def is_flat(self) -> bool:
+        """True if the tensor is a 1-D feature vector."""
+        return self.height == 1 and self.width == 1
+
+    def flattened(self) -> "TensorShape":
+        """Return the shape of this tensor flattened into a feature vector."""
+        return TensorShape(channels=self.elements, height=1, width=1)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_flat:
+            return f"({self.channels})"
+        return f"({self.channels}, {self.height}, {self.width})"
+
+
+PaddingSpec = Union[int, str]
+
+
+def _resolve_padding(padding: PaddingSpec, kernel: int) -> int:
+    """Translate a padding spec ('same', 'valid' or an int) into pixel count."""
+    if isinstance(padding, int):
+        if padding < 0:
+            raise ValueError(f"padding must be >= 0, got {padding}")
+        return padding
+    if padding == "same":
+        return (kernel - 1) // 2
+    if padding == "valid":
+        return 0
+    raise ValueError(f"unknown padding spec {padding!r}")
+
+
+def conv_output_dim(size: int, kernel: int, stride: int, padding: PaddingSpec) -> int:
+    """Spatial output dimension of a convolution/pooling window."""
+    if padding == "same":
+        return max(1, math.ceil(size / stride))
+    pad = _resolve_padding(padding, kernel)
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"window of size {kernel} stride {stride} padding {pad} does not fit "
+            f"an input of size {size}"
+        )
+    return out
+
+
+class Layer:
+    """Base interface shared by all layer descriptors."""
+
+    name: str
+
+    #: short lowercase identifier of the layer kind ("conv", "fc", ...)
+    kind: str = "layer"
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        """Shape produced when the layer is applied to ``input_shape``."""
+        raise NotImplementedError
+
+    def macs(self, input_shape: TensorShape) -> int:
+        """Number of multiply-accumulate operations for one inference."""
+        return 0
+
+    def weight_count(self) -> int:
+        """Number of scalar weights (including biases) held by the layer."""
+        return 0
+
+    @property
+    def is_compute(self) -> bool:
+        """True for layers that perform MAC operations (conv / fc)."""
+        return False
+
+
+@dataclass(frozen=True)
+class Conv2D(Layer):
+    """A 2-D convolution layer (the workhorse of every benchmark)."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel_h: int
+    kernel_w: int
+    stride: int = 1
+    padding: PaddingSpec = "same"
+    groups: int = 1
+    bias: bool = True
+
+    kind = "conv"
+
+    def __post_init__(self) -> None:
+        if self.in_channels <= 0 or self.out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        if self.kernel_h <= 0 or self.kernel_w <= 0:
+            raise ValueError("kernel dimensions must be positive")
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+        if self.groups <= 0 or self.in_channels % self.groups != 0:
+            raise ValueError("groups must divide in_channels")
+        if self.out_channels % self.groups != 0:
+            raise ValueError("groups must divide out_channels")
+
+    @property
+    def is_compute(self) -> bool:
+        return True
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        if input_shape.channels != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, "
+                f"got {input_shape.channels}"
+            )
+        out_h = conv_output_dim(input_shape.height, self.kernel_h, self.stride, self.padding)
+        out_w = conv_output_dim(input_shape.width, self.kernel_w, self.stride, self.padding)
+        return TensorShape(self.out_channels, out_h, out_w)
+
+    def macs(self, input_shape: TensorShape) -> int:
+        out = self.output_shape(input_shape)
+        per_output = (self.in_channels // self.groups) * self.kernel_h * self.kernel_w
+        return out.elements * per_output
+
+    def weight_count(self) -> int:
+        weights = (
+            self.out_channels
+            * (self.in_channels // self.groups)
+            * self.kernel_h
+            * self.kernel_w
+        )
+        if self.bias:
+            weights += self.out_channels
+        return weights
+
+    def input_reuse_factor(self) -> float:
+        """Average number of times each input pixel is used (D*Z*G/S^2).
+
+        This is the reuse bound derived in Section II-A of the paper.
+        """
+        return self.out_channels * self.kernel_h * self.kernel_w / (self.stride ** 2)
+
+
+@dataclass(frozen=True)
+class FullyConnected(Layer):
+    """A fully-connected (dense) layer."""
+
+    name: str
+    in_features: int
+    out_features: int
+    bias: bool = True
+
+    kind = "fc"
+
+    def __post_init__(self) -> None:
+        if self.in_features <= 0 or self.out_features <= 0:
+            raise ValueError("feature counts must be positive")
+
+    @property
+    def is_compute(self) -> bool:
+        return True
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        if input_shape.elements != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} input features, "
+                f"got {input_shape.elements}"
+            )
+        return TensorShape(self.out_features)
+
+    def macs(self, input_shape: TensorShape) -> int:
+        return self.in_features * self.out_features
+
+    def weight_count(self) -> int:
+        weights = self.in_features * self.out_features
+        if self.bias:
+            weights += self.out_features
+        return weights
+
+    def input_reuse_factor(self) -> float:
+        """Each FC input is used once per output neuron."""
+        return float(self.out_features)
+
+
+@dataclass(frozen=True)
+class Pool2D(Layer):
+    """Max or average pooling."""
+
+    name: str
+    kernel: int
+    stride: int = 0  # 0 means "same as kernel"
+    mode: str = "max"
+    padding: PaddingSpec = 0
+
+    kind = "pool"
+
+    def __post_init__(self) -> None:
+        if self.kernel <= 0:
+            raise ValueError("kernel must be positive")
+        if self.mode not in ("max", "avg"):
+            raise ValueError(f"unknown pooling mode {self.mode!r}")
+
+    @property
+    def effective_stride(self) -> int:
+        return self.stride if self.stride > 0 else self.kernel
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        out_h = conv_output_dim(
+            input_shape.height, self.kernel, self.effective_stride, self.padding
+        )
+        out_w = conv_output_dim(
+            input_shape.width, self.kernel, self.effective_stride, self.padding
+        )
+        return TensorShape(input_shape.channels, out_h, out_w)
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool(Layer):
+    """Average pooling over the entire spatial extent."""
+
+    name: str
+
+    kind = "gap"
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return TensorShape(input_shape.channels)
+
+
+@dataclass(frozen=True)
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    name: str
+
+    kind = "relu"
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return input_shape
+
+
+@dataclass(frozen=True)
+class BatchNorm(Layer):
+    """Batch normalisation (folded at inference time; tracked for weights)."""
+
+    name: str
+    channels: int
+
+    kind = "bn"
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        if input_shape.channels != self.channels:
+            raise ValueError(
+                f"{self.name}: expected {self.channels} channels, got {input_shape.channels}"
+            )
+        return input_shape
+
+    def weight_count(self) -> int:
+        # scale and shift per channel
+        return 2 * self.channels
+
+
+@dataclass(frozen=True)
+class Flatten(Layer):
+    """Flatten a spatial tensor into a feature vector."""
+
+    name: str
+
+    kind = "flatten"
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return input_shape.flattened()
+
+
+@dataclass(frozen=True)
+class ElementwiseAdd(Layer):
+    """Residual addition (shape preserving, no weights)."""
+
+    name: str
+
+    kind = "add"
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return input_shape

@@ -1,0 +1,268 @@
+"""Resolved networks and a builder for constructing them.
+
+A :class:`Network` is a flat list of :class:`LayerInstance` objects, i.e.
+layers whose input and output shapes have been fully resolved.  The
+accelerator models in this repository only need that flat, shape-resolved
+view: for branching topologies (ResNet, SqueezeNet) the branches are listed
+in order, and branch inputs are set explicitly through
+:meth:`NetworkBuilder.at`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2D,
+    ElementwiseAdd,
+    Flatten,
+    FullyConnected,
+    GlobalAvgPool,
+    Layer,
+    Pool2D,
+    ReLU,
+    TensorShape,
+)
+
+
+@dataclass(frozen=True)
+class LayerInstance:
+    """A layer bound to concrete input and output shapes."""
+
+    layer: Layer
+    input_shape: TensorShape
+    output_shape: TensorShape
+    index: int
+
+    @property
+    def name(self) -> str:
+        return self.layer.name
+
+    @property
+    def kind(self) -> str:
+        return self.layer.kind
+
+    @property
+    def macs(self) -> int:
+        return self.layer.macs(self.input_shape)
+
+    @property
+    def weights(self) -> int:
+        return self.layer.weight_count()
+
+    @property
+    def is_compute(self) -> bool:
+        return self.layer.is_compute
+
+
+class Network:
+    """A shape-resolved CNN/DNN description."""
+
+    def __init__(self, name: str, input_shape: TensorShape, instances: Iterable[LayerInstance]):
+        self.name = name
+        self.input_shape = input_shape
+        self._instances: List[LayerInstance] = list(instances)
+        if not self._instances:
+            raise ValueError("a Network must contain at least one layer")
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[LayerInstance]:
+        return iter(self._instances)
+
+    def __getitem__(self, index: int) -> LayerInstance:
+        return self._instances[index]
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def instances(self) -> List[LayerInstance]:
+        return list(self._instances)
+
+    @property
+    def compute_instances(self) -> List[LayerInstance]:
+        """Conv and FC layer instances (the ones mapped onto crossbars)."""
+        return [inst for inst in self._instances if inst.is_compute]
+
+    @property
+    def conv_instances(self) -> List[LayerInstance]:
+        return [inst for inst in self._instances if inst.kind == "conv"]
+
+    @property
+    def fc_instances(self) -> List[LayerInstance]:
+        return [inst for inst in self._instances if inst.kind == "fc"]
+
+    @property
+    def output_shape(self) -> TensorShape:
+        return self._instances[-1].output_shape
+
+    # -- aggregate statistics -------------------------------------------------
+    @property
+    def total_macs(self) -> int:
+        return sum(inst.macs for inst in self._instances)
+
+    @property
+    def total_weights(self) -> int:
+        return sum(inst.weights for inst in self._instances)
+
+    @property
+    def total_activations(self) -> int:
+        """Total output elements produced across all layers."""
+        return sum(inst.output_shape.elements for inst in self._instances)
+
+    def find(self, name: str) -> LayerInstance:
+        """Return the instance with the given layer name."""
+        for inst in self._instances:
+            if inst.name == name:
+                return inst
+        raise KeyError(f"no layer named {name!r} in network {self.name!r}")
+
+    def summary(self) -> str:
+        """Human-readable per-layer summary (useful in examples and docs)."""
+        lines = [f"Network {self.name}  (input {self.input_shape})"]
+        header = f"{'idx':>4}  {'name':<20} {'kind':<8} {'input':<16} {'output':<16} {'MACs':>14} {'weights':>12}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for inst in self._instances:
+            lines.append(
+                f"{inst.index:>4}  {inst.name:<20} {inst.kind:<8} "
+                f"{str(inst.input_shape):<16} {str(inst.output_shape):<16} "
+                f"{inst.macs:>14,} {inst.weights:>12,}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"total MACs {self.total_macs:,}   total weights {self.total_weights:,}   "
+            f"total activations {self.total_activations:,}"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Network(name={self.name!r}, layers={len(self)}, macs={self.total_macs:,})"
+
+
+class NetworkBuilder:
+    """Incrementally build a :class:`Network`, tracking the current shape.
+
+    Example
+    -------
+    >>> b = NetworkBuilder("tiny", TensorShape(3, 32, 32))
+    >>> b.conv(16, 3).relu().pool(2).flatten().fc(10)
+    NetworkBuilder(...)
+    >>> net = b.build()
+    """
+
+    def __init__(self, name: str, input_shape: TensorShape):
+        self.name = name
+        self.input_shape = input_shape
+        self._shape = input_shape
+        self._instances: List[LayerInstance] = []
+        self._counters: dict = {}
+
+    # -- internals -----------------------------------------------------------
+    def _auto_name(self, prefix: str) -> str:
+        count = self._counters.get(prefix, 0) + 1
+        self._counters[prefix] = count
+        return f"{prefix}{count}"
+
+    def add_layer(self, layer: Layer) -> "NetworkBuilder":
+        """Append an arbitrary layer, resolving shapes from the current shape."""
+        output = layer.output_shape(self._shape)
+        inst = LayerInstance(
+            layer=layer,
+            input_shape=self._shape,
+            output_shape=output,
+            index=len(self._instances),
+        )
+        self._instances.append(inst)
+        self._shape = output
+        return self
+
+    # -- shape control --------------------------------------------------------
+    @property
+    def current_shape(self) -> TensorShape:
+        return self._shape
+
+    def at(self, shape: TensorShape) -> "NetworkBuilder":
+        """Set the current shape explicitly (used for branch inputs)."""
+        self._shape = shape
+        return self
+
+    # -- layer helpers ---------------------------------------------------------
+    def conv(
+        self,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding="same",
+        groups: int = 1,
+        name: Optional[str] = None,
+        bias: bool = True,
+    ) -> "NetworkBuilder":
+        layer = Conv2D(
+            name=name or self._auto_name("conv"),
+            in_channels=self._shape.channels,
+            out_channels=out_channels,
+            kernel_h=kernel,
+            kernel_w=kernel,
+            stride=stride,
+            padding=padding,
+            groups=groups,
+            bias=bias,
+        )
+        return self.add_layer(layer)
+
+    def fc(self, out_features: int, name: Optional[str] = None, bias: bool = True) -> "NetworkBuilder":
+        if not self._shape.is_flat:
+            self.flatten()
+        layer = FullyConnected(
+            name=name or self._auto_name("fc"),
+            in_features=self._shape.elements,
+            out_features=out_features,
+            bias=bias,
+        )
+        return self.add_layer(layer)
+
+    def pool(
+        self,
+        kernel: int,
+        stride: int = 0,
+        mode: str = "max",
+        padding=0,
+        name: Optional[str] = None,
+    ) -> "NetworkBuilder":
+        layer = Pool2D(
+            name=name or self._auto_name("pool"),
+            kernel=kernel,
+            stride=stride,
+            mode=mode,
+            padding=padding,
+        )
+        return self.add_layer(layer)
+
+    def relu(self, name: Optional[str] = None) -> "NetworkBuilder":
+        return self.add_layer(ReLU(name=name or self._auto_name("relu")))
+
+    def batch_norm(self, name: Optional[str] = None) -> "NetworkBuilder":
+        return self.add_layer(
+            BatchNorm(name=name or self._auto_name("bn"), channels=self._shape.channels)
+        )
+
+    def flatten(self, name: Optional[str] = None) -> "NetworkBuilder":
+        return self.add_layer(Flatten(name=name or self._auto_name("flatten")))
+
+    def global_avg_pool(self, name: Optional[str] = None) -> "NetworkBuilder":
+        return self.add_layer(GlobalAvgPool(name=name or self._auto_name("gap")))
+
+    def add(self, name: Optional[str] = None) -> "NetworkBuilder":
+        """Residual elementwise addition at the current shape."""
+        return self.add_layer(ElementwiseAdd(name=name or self._auto_name("add")))
+
+    # -- finalisation -----------------------------------------------------------
+    def build(self) -> Network:
+        return Network(self.name, self.input_shape, self._instances)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NetworkBuilder(name={self.name!r}, layers={len(self._instances)}, shape={self._shape})"

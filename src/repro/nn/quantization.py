@@ -1,0 +1,82 @@
+"""Linear quantisation helpers.
+
+TIMELY uses 8-bit inputs/outputs with 8-bit weights (split 4+4 over two
+crossbar columns) when compared against PRIME, and a 16-bit configuration when
+compared against ISAAC.  The helpers here implement the straightforward
+symmetric / unsigned linear quantisation the behavioural models rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An integer tensor together with the scale used to produce it."""
+
+    values: np.ndarray
+    scale: float
+    bits: int
+    signed: bool
+
+    def dequantize(self) -> np.ndarray:
+        """Recover a floating-point approximation of the original tensor."""
+        return self.values.astype(np.float64) * self.scale
+
+    @property
+    def levels(self) -> int:
+        return 2 ** self.bits
+
+
+def quantize_symmetric(x: np.ndarray, bits: int) -> QuantizedTensor:
+    """Symmetric signed quantisation to ``bits`` bits (weights)."""
+    if bits < 2:
+        raise ValueError("symmetric quantisation needs at least 2 bits")
+    max_abs = float(np.max(np.abs(x))) if x.size else 0.0
+    qmax = 2 ** (bits - 1) - 1
+    scale = max_abs / qmax if max_abs > 0 else 1.0
+    values = np.clip(np.round(x / scale), -qmax, qmax).astype(np.int64)
+    return QuantizedTensor(values=values, scale=scale, bits=bits, signed=True)
+
+
+def quantize_unsigned(x: np.ndarray, bits: int) -> QuantizedTensor:
+    """Unsigned quantisation to ``bits`` bits (post-ReLU activations)."""
+    if bits < 1:
+        raise ValueError("unsigned quantisation needs at least 1 bit")
+    if np.any(x < 0):
+        raise ValueError("unsigned quantisation requires non-negative inputs")
+    max_val = float(np.max(x)) if x.size else 0.0
+    qmax = 2 ** bits - 1
+    scale = max_val / qmax if max_val > 0 else 1.0
+    values = np.clip(np.round(x / scale), 0, qmax).astype(np.int64)
+    return QuantizedTensor(values=values, scale=scale, bits=bits, signed=False)
+
+
+def quantization_error(x: np.ndarray, bits: int, signed: bool = True) -> float:
+    """Root-mean-square quantisation error (used in noise-budget tests)."""
+    quant = quantize_symmetric(x, bits) if signed else quantize_unsigned(x, bits)
+    return float(np.sqrt(np.mean((quant.dequantize() - x) ** 2)))
+
+
+def split_msb_lsb(values: np.ndarray, bits: int, low_bits: int) -> tuple:
+    """Split signed integer weights into MSB and LSB slices.
+
+    TIMELY's sub-ranging design (Section IV-C) maps an 8-bit weight onto two
+    adjacent 4-bit bit-cell columns.  This helper performs that split: the
+    returned pair ``(msb, lsb)`` satisfies ``values = msb * 2**low_bits + lsb``
+    with ``0 <= lsb < 2**low_bits``.
+    """
+    if low_bits <= 0 or low_bits >= bits:
+        raise ValueError("low_bits must be strictly between 0 and bits")
+    base = 2 ** low_bits
+    lsb = np.mod(values, base)
+    msb = (values - lsb) // base
+    return msb, lsb
+
+
+def combine_msb_lsb(msb: np.ndarray, lsb: np.ndarray, low_bits: int) -> np.ndarray:
+    """Inverse of :func:`split_msb_lsb`."""
+    return msb * (2 ** low_bits) + lsb
