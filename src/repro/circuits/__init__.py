@@ -15,9 +15,9 @@ small, numerically exercised Python class:
 * :mod:`repro.circuits.components` — the energy/area/latency spec record used
   to describe each physical component.
 
-The architecture-level models (:mod:`repro.arch`, :mod:`repro.energy`) consume
-only the energy/area/latency numbers; the behavioural methods are used by the
-accuracy study and the unit tests.
+The architecture-level models (:mod:`repro.mapping`, :mod:`repro.energy`)
+consume only the energy/area/latency numbers; the behavioural methods are
+used by the unit tests and accuracy studies.
 """
 
 from repro.circuits.components import ComponentSpec

@@ -52,8 +52,13 @@ class DTC:
 
     @property
     def full_scale_s(self) -> float:
-        """Dynamic range of the generated delays (256 x T_del for 8 bits)."""
-        return self.levels * self.t_del_s
+        """Largest generated delay, ``(levels - 1) * T_del`` (255 x T_del for 8 bits).
+
+        The largest representable code is ``levels - 1``, so the delay range
+        tops out one unit delay below ``levels * T_del``; jittered delays are
+        clipped to this ceiling in :meth:`convert`.
+        """
+        return (self.levels - 1) * self.t_del_s
 
     def convert(self, code: ArrayLike, noise: Optional[HardwareNoiseConfig] = None) -> ArrayLike:
         """Convert digital code(s) to delay(s) in seconds."""
@@ -89,7 +94,8 @@ class TDC:
 
     @property
     def full_scale_s(self) -> float:
-        return self.levels * self.t_del_s
+        """Largest representable delay, ``(levels - 1) * T_del`` (code ``levels - 1``)."""
+        return (self.levels - 1) * self.t_del_s
 
     def convert(self, delay_s: ArrayLike, noise: Optional[HardwareNoiseConfig] = None) -> ArrayLike:
         """Convert delay(s) in seconds to digital code(s)."""

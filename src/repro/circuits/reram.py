@@ -133,15 +133,25 @@ class ReRAMCrossbar:
             conductances = np.clip(conductances, 0.0, None)
         self._conductances = conductances
 
+    def _check_rows(self, values: np.ndarray, what: str) -> None:
+        """Validate a ``(rows,)`` vector or ``(batch, rows)`` matrix of inputs."""
+        if values.ndim not in (1, 2) or values.shape[-1] != self.rows:
+            raise ValueError(
+                f"expected {what} of shape ({self.rows},) or (batch, {self.rows}), "
+                f"got {values.shape}"
+            )
+
     # -- voltage-mode operation (PRIME / ISAAC style) ---------------------------
     def column_currents(self, row_voltages: np.ndarray) -> np.ndarray:
         """Column currents for the given row voltages (amperes).
 
         ``I_j = sum_i V_i * G_ij`` — the analog dot product of Section II-B.
+        ``row_voltages`` may be a ``(rows,)`` vector or a ``(batch, rows)``
+        matrix; the batched form runs one matmul per crossbar instead of a
+        Python loop per input vector.
         """
         voltages = np.asarray(row_voltages, dtype=float)
-        if voltages.shape != (self.rows,):
-            raise ValueError(f"expected {self.rows} row voltages, got {voltages.shape}")
+        self._check_rows(voltages, "row voltages")
         return voltages @ self._conductances
 
     # -- time-mode operation (TIMELY style) --------------------------------------
@@ -151,10 +161,10 @@ class ReRAMCrossbar:
         Each cell conducts ``V_DD * G_ij`` for ``T_i`` seconds, contributing a
         charge ``V_DD * G_ij * T_i``; charges sum along the column.  This is
         the phase-I charging of the two-phase scheme in Section IV-C.
+        ``row_times`` may be ``(rows,)`` or ``(batch, rows)``.
         """
         times = np.asarray(row_times, dtype=float)
-        if times.shape != (self.rows,):
-            raise ValueError(f"expected {self.rows} row times, got {times.shape}")
+        self._check_rows(times, "row times")
         if np.any(times < 0):
             raise ValueError("row times must be non-negative")
         return v_dd * (times @ self._conductances)
@@ -164,11 +174,11 @@ class ReRAMCrossbar:
         """Integer dot product of input levels with the programmed weight levels.
 
         This is the exact result the analog array approximates; tests compare
-        the analog paths against it.
+        the analog paths against it.  ``row_levels`` may be ``(rows,)`` or
+        ``(batch, rows)``.
         """
         levels = np.asarray(row_levels, dtype=np.int64)
-        if levels.shape != (self.rows,):
-            raise ValueError(f"expected {self.rows} input levels, got {levels.shape}")
+        self._check_rows(levels, "input levels")
         return levels @ self._weights
 
     def utilization(self) -> float:

@@ -1,0 +1,201 @@
+"""Time-domain dot-product chains (Eq. 2 and the sub-ranging composition).
+
+:class:`TimeDomainDotProduct` wires the behavioural blocks into TIMELY's
+two-phase column read-out (Section IV-C, Fig. 6):
+
+1. a DTC turns each input code into a delay ``T_i = d_i * T_del``,
+2. (optionally) the delay passes through a cascade of X-subBufs,
+3. during phase I every row drives its column cells for ``T_i`` seconds,
+   integrating a charge ``Q_j = V_DD * sum_i T_i * G_ij`` on the charging
+   capacitor,
+4. a reference column of ``G_min`` cells is subtracted, cancelling the
+   conductance offset of the "off" level,
+5. during phase II a constant current charges the capacitor until the
+   comparator threshold is crossed; the threshold-crossing time is the
+   time-domain output, proportional to the dot product.
+
+With all noise sources disabled the chain recovers the integer dot product
+exactly (up to floating-point rounding); tests compare it against
+:meth:`repro.circuits.reram.ReRAMCrossbar.ideal_dot_product`.
+
+:class:`SubRangingDotProduct` maps wide weights (e.g. 8-bit) onto two
+crossbars holding the MSB and LSB halves (e.g. 4-bit cells) and recombines
+the two partial dot products digitally, mirroring the sub-ranging design of
+Section IV-C.
+
+All inputs may be a single ``(rows,)`` code vector or a ``(batch, rows)``
+matrix; the batched path runs one matmul per crossbar.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.analog_buffers import ChargingUnit, Comparator, XSubBuf
+from repro.circuits.converters import DTC
+from repro.circuits.noise import HardwareNoiseConfig
+from repro.circuits.reram import ReRAMCellSpec, ReRAMCrossbar
+from repro.nn.quantization import split_msb_lsb
+
+
+class TimeDomainDotProduct:
+    """Behavioural model of one time-domain crossbar column read-out.
+
+    Parameters
+    ----------
+    crossbar:
+        The programmed :class:`ReRAMCrossbar` (time-mode operation).
+    dtc:
+        Input digital-to-time converter.  Its resolution bounds the input
+        codes; its unit delay sets the time scale of the whole chain.
+    charging_unit, comparator:
+        Phase-I/II integration blocks.  The capacitance is rescaled so the
+        full-scale phase-I charge reaches exactly the comparator threshold —
+        the behavioural analogue of sizing the capacitor for the dynamic
+        range of the array.
+    x_subbuf, cascade_hops:
+        Optional X-subBuf cascade the input delays traverse before reaching
+        the crossbar rows (models intra-sub-Chip input forwarding).
+    v_dd:
+        Supply driving the rows during phase I.
+    """
+
+    def __init__(
+        self,
+        crossbar: ReRAMCrossbar,
+        dtc: Optional[DTC] = None,
+        charging_unit: Optional[ChargingUnit] = None,
+        comparator: Optional[Comparator] = None,
+        x_subbuf: Optional[XSubBuf] = None,
+        cascade_hops: int = 0,
+        v_dd: float = 1.2,
+    ):
+        if cascade_hops < 0:
+            raise ValueError("cascade_hops must be non-negative")
+        self.crossbar = crossbar
+        self.dtc = dtc or DTC()
+        self.comparator = comparator or Comparator()
+        self.x_subbuf = x_subbuf or XSubBuf(unit_delay_s=self.dtc.t_del_s)
+        self.cascade_hops = cascade_hops
+        self.v_dd = v_dd
+
+        cell = crossbar.cell
+        # Full-scale net charge: every input at the max code, every cell at the
+        # max weight level (offset column already subtracted).
+        q_full = (
+            v_dd
+            * cell.g_step_s
+            * (cell.levels - 1)
+            * self.dtc.full_scale_s
+            * crossbar.rows
+        )
+        base = charging_unit or ChargingUnit()
+        threshold = self.comparator.v_threshold
+        # Resize the capacitor so v1 <= v_threshold over the whole dynamic range.
+        self.charging_unit = ChargingUnit(
+            capacitance_f=q_full / threshold,
+            v_dd=v_dd,
+            energy_fj=base.energy_fj,
+            area_um2=base.area_um2,
+        )
+        # Phase-II current sized so the full-scale threshold-crossing time
+        # equals the input full scale (keeps phase II on the same time axis).
+        self.phase2_current_a = q_full / self.dtc.full_scale_s
+
+    @property
+    def dot_max(self) -> float:
+        """Largest dot product the chain can represent without clipping."""
+        return float(
+            (self.dtc.levels - 1)
+            * (self.crossbar.cell.levels - 1)
+            * self.crossbar.rows
+        )
+
+    def output_times(
+        self, codes: np.ndarray, noise: Optional[HardwareNoiseConfig] = None
+    ) -> np.ndarray:
+        """Time-domain column outputs (seconds), proportional to the dot product."""
+        delays = self.dtc.convert(codes, noise)
+        delays = self.x_subbuf.cascade(delays, self.cascade_hops, noise)
+        delays = np.atleast_1d(np.asarray(delays, dtype=float))
+
+        charges = self.crossbar.column_charges(delays, self.v_dd)
+        # Reference column of G_min cells cancels the "off"-level offset.
+        offset = (
+            self.v_dd
+            * self.crossbar.cell.g_min_s
+            * delays.sum(axis=-1, keepdims=delays.ndim > 1)
+        )
+        net = np.clip(charges - offset, 0.0, None)
+
+        v1 = self.charging_unit.charge_to_voltage(net)
+        t_phase2 = self.charging_unit.phase2_time_to_threshold(
+            v1, self.comparator.v_threshold, self.phase2_current_a
+        )
+        # Output edge position: a larger dot product crosses earlier, so the
+        # column's time output is T_full - T_x (Fig. 6(e)(g)).
+        return self.dtc.full_scale_s - np.asarray(t_phase2, dtype=float)
+
+    def compute(
+        self, codes: np.ndarray, noise: Optional[HardwareNoiseConfig] = None
+    ) -> np.ndarray:
+        """Dot-product estimate in integer (input-level x weight-level) units."""
+        times = self.output_times(codes, noise)
+        lsb_s = self.dtc.full_scale_s / self.dot_max
+        return times / lsb_s
+
+
+class SubRangingDotProduct:
+    """Wide-weight dot product via MSB/LSB crossbar pairs (Section IV-C).
+
+    An ``2 * cell_bits``-bit unsigned weight matrix is split with
+    :func:`repro.nn.quantization.split_msb_lsb` across two crossbars whose
+    cells hold ``cell_bits`` each; the two time-domain partial products are
+    recombined digitally as ``msb * 2**cell_bits + lsb``.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        rows: int = 256,
+        cols: int = 256,
+        cell: Optional[ReRAMCellSpec] = None,
+        noise: Optional[HardwareNoiseConfig] = None,
+        dtc: Optional[DTC] = None,
+        v_dd: float = 1.2,
+    ):
+        self.cell = cell or ReRAMCellSpec()
+        self.low_bits = self.cell.bits_per_cell
+        self.weight_bits = 2 * self.low_bits
+
+        values = np.asarray(weights, dtype=np.int64)
+        if np.any(values < 0) or np.any(values > 2 ** self.weight_bits - 1):
+            raise ValueError(
+                f"weights must lie in [0, {2 ** self.weight_bits - 1}] for "
+                f"sub-ranging over two {self.low_bits}-bit cells"
+            )
+        msb, lsb = split_msb_lsb(values, self.weight_bits, self.low_bits)
+
+        self.msb_crossbar = ReRAMCrossbar(rows, cols, self.cell, noise)
+        self.lsb_crossbar = ReRAMCrossbar(rows, cols, self.cell, noise)
+        self.msb_crossbar.program(msb)
+        self.lsb_crossbar.program(lsb)
+
+        self.msb_chain = TimeDomainDotProduct(self.msb_crossbar, dtc=dtc, v_dd=v_dd)
+        self.lsb_chain = TimeDomainDotProduct(self.lsb_crossbar, dtc=dtc, v_dd=v_dd)
+
+    def compute(
+        self, codes: np.ndarray, noise: Optional[HardwareNoiseConfig] = None
+    ) -> np.ndarray:
+        """Dot product of input codes with the full-width weights."""
+        msb = self.msb_chain.compute(codes, noise)
+        lsb = self.lsb_chain.compute(codes, noise)
+        return msb * (2 ** self.low_bits) + lsb
+
+    def ideal(self, codes: np.ndarray) -> np.ndarray:
+        """Exact integer reference for the same full-width weights."""
+        msb = self.msb_crossbar.ideal_dot_product(codes)
+        lsb = self.lsb_crossbar.ideal_dot_product(codes)
+        return msb * (2 ** self.low_bits) + lsb

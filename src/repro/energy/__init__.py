@@ -1,0 +1,42 @@
+"""Chip-level energy / latency / area models.
+
+* :mod:`repro.energy.tables` — :class:`~repro.circuits.components.ComponentSpec`
+  records (Table II of the paper) and the three accelerator configurations:
+  TIMELY (time-domain, ALB-buffered), PRIME-like and ISAAC-like
+  (voltage-domain),
+* :mod:`repro.energy.estimator` — rolls a crossbar mapping plus access
+  counts into per-layer and per-network energy (pJ), latency (ns) and
+  area (mm^2).
+
+The comparison CLI lives in :mod:`repro.sim` (``python -m repro.sim``).
+"""
+
+from repro.energy.estimator import (
+    LayerEstimate,
+    NetworkEstimate,
+    compare_accelerators,
+    estimate_layer,
+    estimate_network,
+    layer_access_counts,
+)
+from repro.energy.tables import (
+    AcceleratorSpec,
+    default_configs,
+    isaac_like_config,
+    prime_like_config,
+    timely_config,
+)
+
+__all__ = [
+    "AcceleratorSpec",
+    "timely_config",
+    "prime_like_config",
+    "isaac_like_config",
+    "default_configs",
+    "LayerEstimate",
+    "NetworkEstimate",
+    "estimate_layer",
+    "estimate_network",
+    "compare_accelerators",
+    "layer_access_counts",
+]

@@ -1,0 +1,172 @@
+"""Chip-level energy / latency / area estimation.
+
+The estimator rolls a crossbar mapping (:mod:`repro.mapping`) and the
+per-accelerator access counts (:mod:`repro.mapping.access_counts`) into
+per-layer and per-network totals, pricing every event with the
+:class:`repro.circuits.components.ComponentSpec` records of an
+:class:`repro.energy.tables.AcceleratorSpec`.
+
+Modelling assumptions (deliberately simple, matching the paper's own
+system-level methodology):
+
+* weights are stationary — every layer owns its crossbars, all tiles of a
+  layer operate in parallel, and a layer's latency is its number of output
+  positions times the input slices per position times the cycle time;
+* network latency is the sum of layer latencies (one image, no cross-layer
+  pipelining), throughput is total operations over that latency;
+* energy efficiency is total operations over total energy (TOPS/W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.mapping.access_counts import (
+    AccessCounts,
+    timely_access_counts,
+    voltage_domain_access_counts,
+)
+from repro.mapping.crossbar_mapping import CrossbarConfig, LayerMapping, map_network
+from repro.energy.tables import AcceleratorSpec, default_configs
+from repro.nn.network import Network
+
+#: AccessCounts field -> event-spec key priced against it
+_EVENT_FIELDS: Dict[str, str] = {
+    "input_reads": "input_read",
+    "input_conversions": "input_conversion",
+    "input_forwards": "input_forward",
+    "crossbar_ops": "crossbar_op",
+    "partial_sum_merges": "partial_sum_merge",
+    "partial_sum_buffer_accesses": "partial_sum_buffer_access",
+    "output_conversions": "output_conversion",
+    "output_writes": "output_write",
+}
+
+
+def layer_access_counts(
+    mapping: LayerMapping, spec: AcceleratorSpec, config: CrossbarConfig
+) -> AccessCounts:
+    """Access counts of one layer under the accelerator's data-movement policy."""
+    if spec.style == "time":
+        return timely_access_counts(mapping, config)
+    return voltage_domain_access_counts(mapping, config, spec.dac_bits)
+
+
+@dataclass(frozen=True)
+class LayerEstimate:
+    """Energy/latency estimate of one layer on one accelerator."""
+
+    name: str
+    kind: str
+    crossbars: int
+    utilization: float
+    macs: int
+    counts: AccessCounts
+    energy_breakdown_pj: Dict[str, float]
+    latency_ns: float
+
+    @property
+    def energy_pj(self) -> float:
+        return sum(self.energy_breakdown_pj.values())
+
+
+@dataclass(frozen=True)
+class NetworkEstimate:
+    """Whole-network estimate of one accelerator configuration."""
+
+    model: str
+    accelerator: str
+    layers: List[LayerEstimate]
+    area_mm2: float
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(layer.energy_pj for layer in self.layers)
+
+    @property
+    def total_latency_ns(self) -> float:
+        return sum(layer.latency_ns for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_crossbars(self) -> int:
+        return sum(layer.crossbars for layer in self.layers)
+
+    @property
+    def total_operations(self) -> int:
+        return 2 * self.total_macs
+
+    @property
+    def tops_per_watt(self) -> float:
+        """Energy efficiency: 1 op/pJ == 1 TOPS/W."""
+        return self.total_operations / self.total_energy_pj
+
+    @property
+    def gops(self) -> float:
+        """Throughput on one image: ops per nanosecond == GOPS."""
+        return self.total_operations / self.total_latency_ns
+
+    def energy_breakdown_pj(self) -> Dict[str, float]:
+        """Per-component energy totals over the whole network."""
+        totals: Dict[str, float] = {}
+        for layer in self.layers:
+            for component, energy in layer.energy_breakdown_pj.items():
+                totals[component] = totals.get(component, 0.0) + energy
+        return totals
+
+    def by_name(self) -> Dict[str, LayerEstimate]:
+        return {layer.name: layer for layer in self.layers}
+
+
+def estimate_layer(
+    mapping: LayerMapping, spec: AcceleratorSpec, config: CrossbarConfig
+) -> LayerEstimate:
+    """Price one mapped layer on one accelerator configuration."""
+    counts = layer_access_counts(mapping, spec, config)
+    breakdown: Dict[str, float] = {}
+    for count_field, event in _EVENT_FIELDS.items():
+        count = getattr(counts, count_field)
+        component = spec.event_specs[event]
+        if count and component.energy_fj:
+            breakdown[component.name] = (
+                breakdown.get(component.name, 0.0) + count * component.energy_pj
+            )
+    latency = mapping.output_positions * spec.input_slices(config) * spec.cycle_time_ns
+    return LayerEstimate(
+        name=mapping.name,
+        kind=mapping.kind,
+        crossbars=mapping.crossbars,
+        utilization=mapping.utilization(config),
+        macs=mapping.macs,
+        counts=counts,
+        energy_breakdown_pj=breakdown,
+        latency_ns=latency,
+    )
+
+
+def estimate_network(
+    network: Network,
+    spec: AcceleratorSpec,
+    config: CrossbarConfig = CrossbarConfig(),
+) -> NetworkEstimate:
+    """Price every compute layer of ``network`` on one accelerator."""
+    mapping = map_network(network, config)
+    layers = [estimate_layer(layer, spec, config) for layer in mapping]
+    area_mm2 = mapping.total_crossbars * spec.area_per_crossbar_um2(config) / 1e6
+    return NetworkEstimate(
+        model=network.name, accelerator=spec.name, layers=layers, area_mm2=area_mm2
+    )
+
+
+def compare_accelerators(
+    network: Network,
+    specs: Sequence[AcceleratorSpec] = (),
+    config: CrossbarConfig = CrossbarConfig(),
+) -> List[NetworkEstimate]:
+    """Estimate ``network`` on every configuration (default: the paper's three)."""
+    specs = list(specs) or default_configs(config)
+    return [estimate_network(network, spec, config) for spec in specs]

@@ -1,0 +1,209 @@
+"""Component energy/area/latency tables and accelerator configurations.
+
+The TIMELY numbers follow Table II of the paper; where a number is already
+encoded on a behavioural dataclass (DTC/TDC/DAC/ADC, the analog local
+buffers, the charging unit) it is read from there so the circuit models and
+the energy model cannot drift apart.  The voltage-domain interface costs
+keep the paper's ratios: a DAC conversion costs roughly ``q1 = 50x`` a DTC
+conversion and an ADC conversion roughly ``q2 = 20x`` a TDC conversion.
+
+Three :class:`AcceleratorSpec` configurations are exported:
+
+* :func:`timely_config` — time-domain interfaces, analog local buffers,
+  only-once input read,
+* :func:`prime_like_config` — voltage-domain, multi-bit input drivers
+  (PRIME presents several input bits per array activation),
+* :func:`isaac_like_config` — voltage-domain, bit-serial input streaming
+  (1 bit per 100 ns cycle) with one shared ADC per crossbar.
+
+The memory-hierarchy costs (chip-level input buffer, partial-sum buffer,
+output buffer) are identical across configurations: the comparison isolates
+the paper's two levers — interface energy and input/partial-sum movement —
+rather than assuming better SRAM for TIMELY.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.circuits.analog_buffers import ChargingUnit, CurrentAdder, PSubBuf, XSubBuf
+from repro.circuits.components import ComponentSpec
+from repro.circuits.converters import ADC, DAC, DTC, TDC
+from repro.mapping.crossbar_mapping import CrossbarConfig
+
+# -- shared memory-hierarchy costs (per 8-bit element access) -----------------
+INPUT_BUFFER_READ = ComponentSpec("input_buffer_read", energy_fj=2000.0)
+OUTPUT_BUFFER_WRITE = ComponentSpec("output_buffer_write", energy_fj=2000.0)
+PSUM_BUFFER_ACCESS = ComponentSpec("psum_buffer_access", energy_fj=1200.0)
+#: digital shift-and-add merging one digitised partial sum (voltage domain)
+DIGITAL_PSUM_MERGE = ComponentSpec("digital_psum_merge", energy_fj=60.0)
+
+#: one full-precision activation of a *reference* 256x256 array (row drivers +
+#: cell currents); other geometries are scaled by their cell count, and
+#: bit-serial styles are charged pro rata per presented bit so the summed
+#: array energy is comparable across styles.
+CROSSBAR_ACTIVATION = ComponentSpec(
+    "crossbar_activation", energy_fj=16000.0, area_um2=1108.0
+)
+_REFERENCE_CELLS = 256 * 256
+
+#: per-cell area of the ReRAM array (4F^2 at F = 65 nm)
+RERAM_CELL_AREA_UM2 = 4 * 0.065 * 0.065
+
+
+def _tdi_specs(config: CrossbarConfig) -> Dict[str, ComponentSpec]:
+    """Time-domain interface + ALB event costs, read off the circuit models."""
+    dtc, tdc = DTC(), TDC()
+    x_subbuf, p_subbuf = XSubBuf(), PSubBuf()
+    charging, i_adder = ChargingUnit(), CurrentAdder()
+    return {
+        "input_read": INPUT_BUFFER_READ,
+        "input_conversion": ComponentSpec(
+            "dtc", dtc.energy_fj, dtc.area_um2, dtc.latency_ns
+        ),
+        "input_forward": ComponentSpec("x_subbuf", x_subbuf.energy_fj, x_subbuf.area_um2),
+        "crossbar_op": CROSSBAR_ACTIVATION.scaled(
+            energy_factor=config.cells / _REFERENCE_CELLS
+        ),
+        # one analog partial-sum merge = a P-subBuf mirror plus its share of
+        # the I-adder / charging-unit work at the column foot
+        "partial_sum_merge": ComponentSpec(
+            "alb_psum_merge",
+            p_subbuf.energy_fj + charging.energy_fj + i_adder.energy_fj / config.cols,
+        ),
+        "partial_sum_buffer_access": PSUM_BUFFER_ACCESS,
+        "output_conversion": ComponentSpec(
+            "tdc", tdc.energy_fj, tdc.area_um2, tdc.latency_ns
+        ),
+        "output_write": OUTPUT_BUFFER_WRITE,
+    }
+
+
+def _vdi_specs(config: CrossbarConfig, dac_bits: int) -> Dict[str, ComponentSpec]:
+    """Voltage-domain interface event costs (PRIME/ISAAC style)."""
+    dac, adc = DAC(), ADC()
+    bit_fraction = dac_bits / config.input_bits
+    return {
+        "input_read": INPUT_BUFFER_READ,
+        "input_conversion": ComponentSpec(
+            "dac", dac.energy_fj * bit_fraction, dac.area_um2, dac.latency_ns
+        ),
+        "input_forward": ComponentSpec("unused_forward", 0.0),
+        "crossbar_op": CROSSBAR_ACTIVATION.scaled(
+            energy_factor=bit_fraction * config.cells / _REFERENCE_CELLS
+        ),
+        "partial_sum_merge": DIGITAL_PSUM_MERGE,
+        "partial_sum_buffer_access": PSUM_BUFFER_ACCESS,
+        "output_conversion": ComponentSpec(
+            "adc", adc.energy_fj, adc.area_um2, adc.latency_ns
+        ),
+        "output_write": OUTPUT_BUFFER_WRITE,
+    }
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """One accelerator configuration the estimator can price.
+
+    Attributes
+    ----------
+    name / style:
+        ``style`` is ``"time"`` (TIMELY: O2IR + ALBs + TDIs) or ``"voltage"``
+        (PRIME/ISAAC: DAC/ADC interfaces, digital partial sums).
+    dac_bits:
+        Input bits presented per array activation (voltage style only);
+        an 8-bit input needs ``ceil(8 / dac_bits)`` sequential slices.
+    cycle_time_ns:
+        Wall-clock time of one array activation step (all tiles operate in
+        parallel, weights stationary).
+    event_specs:
+        Per-event :class:`ComponentSpec` records keyed by the field names of
+        :class:`repro.mapping.access_counts.AccessCounts` (singular form).
+    interface_area_um2:
+        Interface area attributed to one crossbar tile after sharing
+        (DTC/TDC rows-and-columns for TIMELY, row drivers + shared ADC for
+        the baselines).
+    """
+
+    name: str
+    style: str
+    cycle_time_ns: float
+    dac_bits: int = 8
+    event_specs: Dict[str, ComponentSpec] = field(default_factory=dict)
+    interface_area_um2: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.style not in ("time", "voltage"):
+            raise ValueError(f"unknown accelerator style {self.style!r}")
+        if self.cycle_time_ns <= 0:
+            raise ValueError("cycle_time_ns must be positive")
+        if self.dac_bits <= 0:
+            raise ValueError("dac_bits must be positive")
+
+    def input_slices(self, config: CrossbarConfig) -> int:
+        """Sequential input slices needed per output position."""
+        if self.style == "time":
+            return 1
+        return math.ceil(config.input_bits / self.dac_bits)
+
+    def area_per_crossbar_um2(self, config: CrossbarConfig) -> float:
+        """Array plus attributed interface area of one tile."""
+        array = config.cells * RERAM_CELL_AREA_UM2
+        return array + self.interface_area_um2
+
+
+def timely_config(config: CrossbarConfig = CrossbarConfig()) -> AcceleratorSpec:
+    """TIMELY: time-domain interfaces, ALBs, only-once input read.
+
+    The cycle covers DTC conversion plus the two-phase charge/compare
+    read-out (Section IV-C); DTCs are shared along a sub-Chip row and TDCs
+    along a sub-Chip column (8-way sharing, Fig. 5).
+    """
+    dtc, tdc = DTC(), TDC()
+    interface = (
+        config.rows * dtc.area_um2 / 8.0 + config.cols * tdc.area_um2 / 8.0
+    )
+    return AcceleratorSpec(
+        name="TIMELY",
+        style="time",
+        cycle_time_ns=51.2,
+        event_specs=_tdi_specs(config),
+        interface_area_um2=interface,
+    )
+
+
+def prime_like_config(config: CrossbarConfig = CrossbarConfig()) -> AcceleratorSpec:
+    """PRIME-like baseline: multi-bit voltage drivers, per-bank sense ADCs."""
+    dac_bits = 4
+    adc = ADC()
+    interface = config.rows * 20.0 + config.cols * adc.area_um2 / 16.0
+    return AcceleratorSpec(
+        name="PRIME-like",
+        style="voltage",
+        cycle_time_ns=64.0,
+        dac_bits=dac_bits,
+        event_specs=_vdi_specs(config, dac_bits),
+        interface_area_um2=interface,
+    )
+
+
+def isaac_like_config(config: CrossbarConfig = CrossbarConfig()) -> AcceleratorSpec:
+    """ISAAC-like baseline: 1-bit input streaming, one shared ADC per tile."""
+    dac_bits = 1
+    adc = ADC()
+    interface = config.rows * 2.0 + adc.area_um2
+    return AcceleratorSpec(
+        name="ISAAC-like",
+        style="voltage",
+        cycle_time_ns=100.0,
+        dac_bits=dac_bits,
+        event_specs=_vdi_specs(config, dac_bits),
+        interface_area_um2=interface,
+    )
+
+
+def default_configs(config: CrossbarConfig = CrossbarConfig()) -> List[AcceleratorSpec]:
+    """The three configurations compared throughout the paper's evaluation."""
+    return [timely_config(config), prime_like_config(config), isaac_like_config(config)]

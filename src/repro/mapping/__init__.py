@@ -1,0 +1,37 @@
+"""Crossbar mapping and per-memory-level access counting.
+
+* :mod:`repro.mapping.crossbar_mapping` — tiles the conv/FC layers of a
+  :class:`repro.nn.network.Network` onto fixed-size ReRAM crossbars
+  (im2col row/column partitioning, MSB/LSB weight splitting, per-layer
+  crossbar counts and utilization),
+* :mod:`repro.mapping.access_counts` — turns a layer mapping into the
+  architecture-dependent access counts (buffer reads, DTC/TDC or DAC/ADC
+  conversions, partial-sum traffic) that the energy estimator in
+  :mod:`repro.energy` prices.
+"""
+
+from repro.mapping.access_counts import (
+    AccessCounts,
+    input_read_amplification,
+    timely_access_counts,
+    voltage_domain_access_counts,
+)
+from repro.mapping.crossbar_mapping import (
+    CrossbarConfig,
+    LayerMapping,
+    NetworkMapping,
+    map_layer,
+    map_network,
+)
+
+__all__ = [
+    "CrossbarConfig",
+    "LayerMapping",
+    "NetworkMapping",
+    "map_layer",
+    "map_network",
+    "AccessCounts",
+    "timely_access_counts",
+    "voltage_domain_access_counts",
+    "input_read_amplification",
+]

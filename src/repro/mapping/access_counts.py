@@ -1,0 +1,134 @@
+"""Architecture-dependent per-memory-level access counts.
+
+These are the counts :mod:`repro.nn.statistics` deliberately leaves out: how
+many times a datum crosses each memory level / interface of a *particular*
+accelerator while executing one inference of one layer.  They are derived
+from a :class:`repro.mapping.crossbar_mapping.LayerMapping` under one of two
+data-movement policies:
+
+* :func:`timely_access_counts` — TIMELY's only-once input read (O2IR):
+  each input element is read from the chip-level buffer and DTC-converted
+  exactly once, then forwarded between crossbars in the time domain through
+  X-subBufs; partial sums stay analog (P-subBuf + I-adder) until a single
+  TDC digitises each output.
+* :func:`voltage_domain_access_counts` — the PRIME/ISAAC pattern: inputs are
+  re-read and DAC-converted for every use (ISAAC reports each CONV input
+  read 47 times on average for MSRA-3, Section III-A of the TIMELY paper),
+  every active column of every row tile is ADC-digitised once per input
+  slice, and partial sums bounce through a digital partial-sum buffer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+
+from repro.mapping.crossbar_mapping import CrossbarConfig, LayerMapping
+
+
+@dataclass(frozen=True)
+class AccessCounts:
+    """Event counts for one inference of one layer on one accelerator.
+
+    All counts are in *elements* (not bits); ``crossbar_ops`` counts physical
+    array activations (one tile processing one input vector / slice).
+    """
+
+    input_reads: int = 0            # chip-level input-buffer reads
+    input_conversions: int = 0      # DTC (time-domain) or DAC (voltage) conversions
+    input_forwards: int = 0         # X-subBuf latch events (analog input reuse)
+    crossbar_ops: int = 0           # physical array activations
+    partial_sum_merges: int = 0     # analog mirror/add or digital shift-add events
+    partial_sum_buffer_accesses: int = 0  # digital partial-sum buffer R/W (voltage only)
+    output_conversions: int = 0     # TDC or ADC conversions
+    output_writes: int = 0          # output-buffer writes
+
+    def __add__(self, other: "AccessCounts") -> "AccessCounts":
+        return AccessCounts(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    @property
+    def total_conversions(self) -> int:
+        return self.input_conversions + self.output_conversions
+
+
+def timely_access_counts(mapping: LayerMapping, config: CrossbarConfig) -> AccessCounts:
+    """Access counts under TIMELY's O2IR + analog-local-buffer policy."""
+    positions = mapping.output_positions
+    vector = mapping.input_vector_length
+    tiles = mapping.groups * mapping.row_tiles * mapping.col_tiles
+
+    # Every use of an input at a crossbar boundary is one X-subBuf hop; the
+    # first use comes straight from the DTC, later uses are forwarded.
+    uses = positions * vector * mapping.col_tiles
+    return AccessCounts(
+        input_reads=mapping.input_elements,
+        input_conversions=mapping.input_elements,
+        input_forwards=max(uses - mapping.input_elements, 0),
+        crossbar_ops=positions * tiles,
+        # Each row tile's column partial sum is mirrored (P-subBuf) into the
+        # I-adder; accumulation happens in analog, never in a digital buffer.
+        partial_sum_merges=positions * mapping.groups * mapping.cols_needed
+        * mapping.row_tiles,
+        partial_sum_buffer_accesses=0,
+        # the sub-ranging read-out digitises each MSB/LSB bit-cell column
+        # separately (one TDC conversion per weight column, matching
+        # SubRangingDotProduct and the baseline per-column ADC accounting)
+        output_conversions=positions * mapping.output_channels * config.cols_per_weight,
+        output_writes=mapping.output_elements,
+    )
+
+
+def voltage_domain_access_counts(
+    mapping: LayerMapping, config: CrossbarConfig, dac_bits: int
+) -> AccessCounts:
+    """Access counts under the PRIME/ISAAC voltage-domain policy.
+
+    ``dac_bits`` is the input resolution presented per array activation;
+    an ``input_bits``-bit input therefore needs ``ceil(input_bits /
+    dac_bits)`` sequential slices (ISAAC streams 1 bit per cycle).
+    """
+    if dac_bits <= 0:
+        raise ValueError("dac_bits must be positive")
+    slices = math.ceil(config.input_bits / dac_bits)
+    positions = mapping.output_positions
+    vector = mapping.input_vector_length
+    tiles = mapping.groups * mapping.row_tiles * mapping.col_tiles
+
+    # No analog input reuse: every tile column that needs an input re-reads
+    # and re-converts it, once per slice.
+    input_events = positions * vector * mapping.col_tiles
+    # Every active column of every row tile is digitised once per slice.
+    column_reads = (
+        positions * mapping.groups * mapping.cols_needed * mapping.row_tiles * slices
+    )
+    # Digital accumulation: slice and bit-column partials merge in the
+    # shift-add registers next to the ADC (priced per merge below); only the
+    # partials of different *row tiles* bounce through the partial-sum
+    # buffer, one read-modify-write per extra tile.
+    psum_accesses = 2 * positions * mapping.output_channels * (mapping.row_tiles - 1)
+    return AccessCounts(
+        input_reads=input_events,
+        input_conversions=input_events * slices,
+        input_forwards=0,
+        crossbar_ops=positions * tiles * slices,
+        partial_sum_merges=column_reads,
+        partial_sum_buffer_accesses=max(psum_accesses, 0),
+        output_conversions=column_reads,
+        output_writes=mapping.output_elements,
+    )
+
+
+def input_read_amplification(counts: AccessCounts, input_elements: int) -> float:
+    """Average number of chip-level reads per distinct input element.
+
+    TIMELY's O2IR keeps this at 1.0; ISAAC-style mappings reach tens
+    (the paper quotes 47x for MSRA-3 CONV layers).
+    """
+    if input_elements <= 0:
+        raise ValueError("input_elements must be positive")
+    return counts.input_reads / input_elements

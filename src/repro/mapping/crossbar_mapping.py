@@ -1,0 +1,174 @@
+"""Tiling of network compute layers onto fixed-size ReRAM crossbars.
+
+Every conv / FC layer is lowered the same way the paper (and PRIME / ISAAC)
+lower it: the weight tensor becomes a ``(C*Z*G, D)`` matrix (im2col layout,
+one row per input-vector element, one column group per output channel), and
+that matrix is partitioned into ``rows x cols`` tiles, each tile one physical
+crossbar.  A ``weight_bits``-bit weight occupies ``ceil(weight_bits /
+cell_bits)`` adjacent bit-cell columns (the MSB/LSB split performed by
+:func:`repro.nn.quantization.split_msb_lsb` — see
+:class:`repro.circuits.timing.SubRangingDotProduct` for the behavioural
+read-out of such a pair).
+
+Grouped convolutions map each group to its own tile grid: output block ``g``
+only needs the rows of input block ``g``, so the groups never share a
+crossbar.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from repro.nn.layers import Conv2D, FullyConnected
+from repro.nn.network import LayerInstance, Network
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """Physical crossbar geometry and weight/input precision.
+
+    The defaults are the paper's PRIME-comparison configuration: 256x256
+    arrays of 4-bit cells holding 8-bit weights (two cells per weight) driven
+    by 8-bit inputs.
+    """
+
+    rows: int = 256
+    cols: int = 256
+    cell_bits: int = 4
+    weight_bits: int = 8
+    input_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("crossbar dimensions must be positive")
+        if self.cell_bits <= 0 or self.weight_bits <= 0 or self.input_bits <= 0:
+            raise ValueError("bit widths must be positive")
+
+    @property
+    def cols_per_weight(self) -> int:
+        """Bit-cell columns per weight (MSB/LSB split across adjacent cells)."""
+        return math.ceil(self.weight_bits / self.cell_bits)
+
+    @property
+    def cells(self) -> int:
+        return self.rows * self.cols
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """How one compute layer tiles onto crossbars.
+
+    ``rows_needed`` / ``cols_needed`` are per weight-sharing group; the
+    physical tile grid is replicated ``groups`` times.
+    """
+
+    name: str
+    kind: str
+    groups: int
+    rows_needed: int
+    cols_needed: int
+    row_tiles: int
+    col_tiles: int
+    output_positions: int
+    output_channels: int
+    macs: int
+    weight_count: int
+    input_elements: int
+    output_elements: int
+
+    @property
+    def crossbars(self) -> int:
+        """Number of physical crossbars the layer occupies."""
+        return self.groups * self.row_tiles * self.col_tiles
+
+    @property
+    def input_vector_length(self) -> int:
+        """Distinct input elements consumed per output position (all groups)."""
+        return self.groups * self.rows_needed
+
+    def utilization(self, config: CrossbarConfig) -> float:
+        """Fraction of allocated cells holding weights."""
+        used = self.groups * self.rows_needed * self.cols_needed
+        return used / (self.crossbars * config.cells)
+
+
+def map_layer(inst: LayerInstance, config: CrossbarConfig) -> LayerMapping:
+    """Tile one conv / FC layer instance onto crossbars."""
+    layer = inst.layer
+    if isinstance(layer, Conv2D):
+        groups = layer.groups
+        rows_needed = (layer.in_channels // groups) * layer.kernel_h * layer.kernel_w
+        out_channels = layer.out_channels
+        output_positions = inst.output_shape.height * inst.output_shape.width
+    elif isinstance(layer, FullyConnected):
+        groups = 1
+        rows_needed = layer.in_features
+        out_channels = layer.out_features
+        output_positions = 1
+    else:
+        raise TypeError(f"layer {inst.name!r} of kind {inst.kind!r} is not mappable")
+
+    cols_needed = (out_channels // groups) * config.cols_per_weight
+    return LayerMapping(
+        name=inst.name,
+        kind=inst.kind,
+        groups=groups,
+        rows_needed=rows_needed,
+        cols_needed=cols_needed,
+        row_tiles=math.ceil(rows_needed / config.rows),
+        col_tiles=math.ceil(cols_needed / config.cols),
+        output_positions=output_positions,
+        output_channels=out_channels,
+        macs=inst.macs,
+        weight_count=inst.weights,
+        input_elements=inst.input_shape.elements,
+        output_elements=inst.output_shape.elements,
+    )
+
+
+class NetworkMapping:
+    """The full crossbar allocation of a network (weight-stationary)."""
+
+    def __init__(self, network: Network, config: CrossbarConfig):
+        self.name = network.name
+        self.config = config
+        self.layers: List[LayerMapping] = [
+            map_layer(inst, config) for inst in network.compute_instances
+        ]
+        if not self.layers:
+            raise ValueError(f"network {network.name!r} has no mappable layers")
+
+    def __iter__(self) -> Iterator[LayerMapping]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def by_name(self) -> Dict[str, LayerMapping]:
+        return {layer.name: layer for layer in self.layers}
+
+    @property
+    def total_crossbars(self) -> int:
+        return sum(layer.crossbars for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weights(self) -> int:
+        return sum(layer.weight_count for layer in self.layers)
+
+    def utilization(self) -> float:
+        """Cell utilization over the whole allocation."""
+        used = sum(
+            layer.groups * layer.rows_needed * layer.cols_needed for layer in self.layers
+        )
+        return used / (self.total_crossbars * self.config.cells)
+
+
+def map_network(network: Network, config: CrossbarConfig = CrossbarConfig()) -> NetworkMapping:
+    """Tile every compute layer of ``network`` onto crossbars."""
+    return NetworkMapping(network, config)

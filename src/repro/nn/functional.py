@@ -1,11 +1,11 @@
 """Numpy reference kernels.
 
-These kernels provide a framework-free functional execution path used by
-
-* the accuracy study (:mod:`repro.accuracy`), which re-runs inference with the
-  behavioural circuit models injected in place of the ideal dot product, and
-* the circuit unit tests, which cross-check the analog crossbar / time-domain
-  dot-product models against these exact implementations.
+These kernels provide a framework-free functional execution path used by the
+circuit unit tests, which cross-check the analog crossbar / time-domain
+dot-product models (:mod:`repro.circuits`) against these exact
+implementations.  The ``matmul`` hooks on :func:`conv2d` and
+:func:`fully_connected` let accuracy studies inject the behavioural crossbar
+model in place of the ideal dot product.
 
 All kernels operate on single images (no batch dimension) laid out as
 ``(channels, height, width)``, matching :class:`repro.nn.layers.TensorShape`,
@@ -72,6 +72,7 @@ def conv2d(
     bias: Optional[np.ndarray] = None,
     stride: int = 1,
     pad: int = 0,
+    groups: int = 1,
     matmul: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
 ) -> np.ndarray:
     """2-D convolution via im2col.
@@ -81,26 +82,47 @@ def conv2d(
     x:
         Input tensor of shape ``(C, H, W)``.
     weights:
-        Weight tensor of shape ``(D, C, Z, G)``.
+        Weight tensor of shape ``(D, C // groups, Z, G)``.
     bias:
         Optional bias of shape ``(D,)``.
     stride, pad:
         Convolution stride and symmetric zero padding.
+    groups:
+        Grouped convolution: input channels are split into ``groups``
+        contiguous blocks and output block ``g`` only sees input block ``g``
+        (matching :class:`repro.nn.layers.Conv2D` semantics).
     matmul:
         Optional replacement for the matrix multiplication.  The accuracy
         study passes the behavioural crossbar model here so that the same
         functional path exercises the hardware model.
     """
-    out_channels, in_channels, kernel_h, kernel_w = weights.shape
+    out_channels, group_channels, kernel_h, kernel_w = weights.shape
     if kernel_h != kernel_w:
         raise ValueError("conv2d reference kernel assumes square filters")
-    if x.shape[0] != in_channels:
-        raise ValueError(f"expected {in_channels} input channels, got {x.shape[0]}")
+    if groups <= 0:
+        raise ValueError("groups must be positive")
+    in_channels = x.shape[0]
+    if in_channels % groups != 0 or out_channels % groups != 0:
+        raise ValueError(
+            f"groups={groups} must divide input channels ({in_channels}) and "
+            f"output channels ({out_channels})"
+        )
+    if group_channels != in_channels // groups:
+        raise ValueError(
+            f"expected weights for {in_channels // groups} channels per group, "
+            f"got {group_channels}"
+        )
 
-    cols, out_h, out_w = im2col(x, kernel_h, stride, pad)
-    weight_matrix = weights.reshape(out_channels, -1).T  # (C*Z*G, D)
     multiply = matmul if matmul is not None else np.matmul
-    out = multiply(cols, weight_matrix)  # (out_h*out_w, D)
+    group_out = out_channels // groups
+    outputs = []
+    for g in range(groups):
+        x_g = x[g * group_channels : (g + 1) * group_channels]
+        w_g = weights[g * group_out : (g + 1) * group_out]
+        cols, out_h, out_w = im2col(x_g, kernel_h, stride, pad)
+        weight_matrix = w_g.reshape(group_out, -1).T  # (C/groups*Z*G, D/groups)
+        outputs.append(multiply(cols, weight_matrix))  # (out_h*out_w, D/groups)
+    out = np.concatenate(outputs, axis=1)  # (out_h*out_w, D)
     if bias is not None:
         out = out + bias
     return out.T.reshape(out_channels, out_h, out_w)
@@ -125,24 +147,49 @@ def fully_connected(
     return out
 
 
-def max_pool2d(x: np.ndarray, kernel: int, stride: int = 0) -> np.ndarray:
-    """Max pooling of a (C, H, W) tensor."""
-    return _pool2d(x, kernel, stride, np.max)
+def max_pool2d(x: np.ndarray, kernel: int, stride: int = 0, pad: int = 0) -> np.ndarray:
+    """Max pooling of a (C, H, W) tensor.
+
+    Padded positions are filled with ``-inf`` so an all-negative window is
+    not corrupted by the padding value.
+    """
+    return _pool2d(x, kernel, stride, np.max, pad, fill=-np.inf)
 
 
-def avg_pool2d(x: np.ndarray, kernel: int, stride: int = 0) -> np.ndarray:
-    """Average pooling of a (C, H, W) tensor."""
-    return _pool2d(x, kernel, stride, np.mean)
+def avg_pool2d(x: np.ndarray, kernel: int, stride: int = 0, pad: int = 0) -> np.ndarray:
+    """Average pooling of a (C, H, W) tensor.
+
+    Padded positions contribute zeros and the divisor is the full window
+    size (count-include-pad semantics).
+    """
+    return _pool2d(x, kernel, stride, np.mean, pad, fill=0.0)
 
 
-def _pool2d(x: np.ndarray, kernel: int, stride: int, reducer) -> np.ndarray:
+def _pool2d(
+    x: np.ndarray, kernel: int, stride: int, reducer, pad: int = 0, fill: float = 0.0
+) -> np.ndarray:
     stride = stride if stride > 0 else kernel
+    if pad < 0:
+        raise ValueError("pad must be non-negative")
+    if pad * 2 > kernel:
+        raise ValueError(
+            f"pad ({pad}) may be at most half the kernel ({kernel}); larger "
+            "padding creates windows made entirely of padding"
+        )
     channels, height, width = x.shape
-    out_h = (height - kernel) // stride + 1
-    out_w = (width - kernel) // stride + 1
+    if pad > 0:
+        # float cast: integer inputs cannot hold the -inf fill of max pooling
+        x = np.pad(
+            np.asarray(x, dtype=float),
+            ((0, 0), (pad, pad), (pad, pad)),
+            mode="constant",
+            constant_values=fill,
+        )
+    out_h = (height + 2 * pad - kernel) // stride + 1
+    out_w = (width + 2 * pad - kernel) // stride + 1
     if out_h <= 0 or out_w <= 0:
         raise ValueError("pooling window does not fit the input")
-    out = np.empty((channels, out_h, out_w), dtype=x.dtype)
+    out = np.empty((channels, out_h, out_w), dtype=float)
     for i in range(out_h):
         for j in range(out_w):
             window = x[:, i * stride : i * stride + kernel, j * stride : j * stride + kernel]

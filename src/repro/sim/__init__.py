@@ -1,0 +1,11 @@
+"""Chip-level comparison simulator (``python -m repro.sim``).
+
+Runs any model from :mod:`repro.nn.models` through the crossbar mapper and
+energy estimator and prints per-layer and total energy / latency / area for
+the TIMELY, PRIME-like and ISAAC-like configurations of
+:mod:`repro.energy.tables`.
+"""
+
+from repro.sim.cli import build_parser, format_comparison, format_per_layer, main
+
+__all__ = ["main", "build_parser", "format_comparison", "format_per_layer"]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.sim``."""
+
+import sys
+
+from repro.sim.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

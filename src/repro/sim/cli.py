@@ -1,0 +1,154 @@
+"""Command-line interface of the comparison simulator."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.energy.estimator import NetworkEstimate, compare_accelerators
+from repro.energy.tables import (
+    default_configs,
+    isaac_like_config,
+    prime_like_config,
+    timely_config,
+)
+from repro.mapping.crossbar_mapping import CrossbarConfig
+from repro.nn.models import build_model, list_models
+
+_CONFIG_FACTORIES = {
+    "timely": timely_config,
+    "prime": prime_like_config,
+    "isaac": isaac_like_config,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim",
+        description=(
+            "Estimate chip-level energy, latency and area of a DNN on the "
+            "TIMELY, PRIME-like and ISAAC-like accelerator configurations."
+        ),
+    )
+    parser.add_argument(
+        "--model",
+        default="vgg_d",
+        help="model name from the zoo (default: vgg_d; see --list-models)",
+    )
+    parser.add_argument(
+        "--configs",
+        default="timely,prime,isaac",
+        help="comma-separated subset of: timely, prime, isaac",
+    )
+    parser.add_argument("--rows", type=int, default=256, help="crossbar rows")
+    parser.add_argument("--cols", type=int, default=256, help="crossbar columns")
+    parser.add_argument("--cell-bits", type=int, default=4, help="bits per ReRAM cell")
+    parser.add_argument("--weight-bits", type=int, default=8, help="weight precision")
+    parser.add_argument("--input-bits", type=int, default=8, help="input precision")
+    parser.add_argument(
+        "--no-per-layer",
+        action="store_true",
+        help="print only the totals comparison table",
+    )
+    parser.add_argument(
+        "--summary", action="store_true", help="also print the network summary"
+    )
+    parser.add_argument(
+        "--list-models", action="store_true", help="list available models and exit"
+    )
+    return parser
+
+
+def format_per_layer(estimate: NetworkEstimate) -> str:
+    """Per-layer energy / latency / area table for one accelerator."""
+    lines = [f"{estimate.accelerator} — {estimate.model}, per layer"]
+    header = (
+        f"{'layer':<22} {'kind':<6} {'xbars':>6} {'util':>6} "
+        f"{'energy/uJ':>11} {'latency/us':>11} {'area/mm2':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    area_per_layer = estimate.area_mm2 / max(estimate.total_crossbars, 1)
+    for layer in estimate.layers:
+        lines.append(
+            f"{layer.name:<22} {layer.kind:<6} {layer.crossbars:>6} "
+            f"{layer.utilization:>6.1%} {layer.energy_pj / 1e6:>11.3f} "
+            f"{layer.latency_ns / 1e3:>11.2f} "
+            f"{layer.crossbars * area_per_layer:>9.3f}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total':<22} {'':<6} {estimate.total_crossbars:>6} {'':>6} "
+        f"{estimate.total_energy_pj / 1e6:>11.3f} "
+        f"{estimate.total_latency_ns / 1e3:>11.2f} {estimate.area_mm2:>9.3f}"
+    )
+    return "\n".join(lines)
+
+
+def format_comparison(estimates: Sequence[NetworkEstimate]) -> str:
+    """Totals table comparing all estimated accelerator configurations."""
+    reference = estimates[0]
+    lines = [f"Comparison — {reference.model}"]
+    header = (
+        f"{'accelerator':<12} {'energy/uJ':>11} {'latency/ms':>11} {'area/mm2':>9} "
+        f"{'TOPS/W':>9} {'GOPS':>9} {'eff. vs ' + reference.accelerator:>14}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for est in estimates:
+        ratio = est.tops_per_watt / reference.tops_per_watt
+        lines.append(
+            f"{est.accelerator:<12} {est.total_energy_pj / 1e6:>11.3f} "
+            f"{est.total_latency_ns / 1e6:>11.3f} {est.area_mm2:>9.2f} "
+            f"{est.tops_per_watt:>9.3f} {est.gops:>9.1f} {ratio:>13.3f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_models:
+        print("\n".join(list_models()))
+        return 0
+
+    try:
+        network = build_model(args.model)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    try:
+        config = CrossbarConfig(
+            rows=args.rows,
+            cols=args.cols,
+            cell_bits=args.cell_bits,
+            weight_bits=args.weight_bits,
+            input_bits=args.input_bits,
+        )
+    except ValueError as exc:
+        print(f"invalid crossbar configuration: {exc}", file=sys.stderr)
+        return 2
+    names = [name.strip().lower() for name in args.configs.split(",") if name.strip()]
+    unknown = [name for name in names if name not in _CONFIG_FACTORIES]
+    if unknown or not names:
+        print(
+            f"unknown configs {', '.join(unknown) or '(none)'}; "
+            f"choose from: {', '.join(_CONFIG_FACTORIES)}",
+            file=sys.stderr,
+        )
+        return 2
+    specs = [_CONFIG_FACTORIES[name](config) for name in names]
+
+    if args.summary:
+        print(network.summary())
+        print()
+
+    estimates: List[NetworkEstimate] = compare_accelerators(network, specs, config)
+    if not args.no_per_layer:
+        for estimate in estimates:
+            print(format_per_layer(estimate))
+            print()
+    print(format_comparison(estimates))
+    return 0

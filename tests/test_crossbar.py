@@ -1,0 +1,85 @@
+"""Crossbar behavioural-model tests: analog paths vs the ideal dot product."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import HardwareNoiseConfig, ReRAMCellSpec, ReRAMCrossbar
+
+RNG = np.random.default_rng(1234)
+
+
+def _programmed_crossbar(rows=32, cols=16):
+    xb = ReRAMCrossbar(rows, cols)
+    weights = RNG.integers(0, xb.cell.levels, size=(rows, cols))
+    xb.program(weights)
+    return xb, weights
+
+
+def test_voltage_mode_matches_ideal_dot_product():
+    xb, _ = _programmed_crossbar()
+    levels = RNG.integers(0, 256, size=xb.rows)
+    v_lsb = 1.2 / 255.0
+    currents = xb.column_currents(levels * v_lsb)
+    # subtract the g_min offset column and rescale to integer units
+    offset = levels.sum() * v_lsb * xb.cell.g_min_s
+    dots = (currents - offset) / (v_lsb * xb.cell.g_step_s)
+    np.testing.assert_allclose(dots, xb.ideal_dot_product(levels), rtol=1e-9)
+
+
+def test_time_mode_matches_ideal_dot_product():
+    xb, _ = _programmed_crossbar()
+    levels = RNG.integers(0, 256, size=xb.rows)
+    t_del = 50e-12
+    charges = xb.column_charges(levels * t_del, v_dd=1.2)
+    offset = levels.sum() * t_del * 1.2 * xb.cell.g_min_s
+    dots = (charges - offset) / (1.2 * t_del * xb.cell.g_step_s)
+    np.testing.assert_allclose(dots, xb.ideal_dot_product(levels), rtol=1e-9)
+
+
+def test_batched_inputs_match_per_vector_results():
+    xb, _ = _programmed_crossbar()
+    batch = RNG.integers(0, 256, size=(8, xb.rows))
+    t_del = 50e-12
+    batched = xb.column_charges(batch * t_del)
+    for i, vector in enumerate(batch):
+        np.testing.assert_allclose(batched[i], xb.column_charges(vector * t_del))
+    assert xb.ideal_dot_product(batch).shape == (8, xb.cols)
+
+
+def test_program_rejects_oversized_and_bad_rank():
+    xb = ReRAMCrossbar(8, 8)
+    with pytest.raises(ValueError):
+        xb.program(np.zeros((9, 8), dtype=int))
+    with pytest.raises(ValueError):
+        xb.program(np.zeros(8, dtype=int))
+
+
+def test_partial_program_utilization():
+    xb = ReRAMCrossbar(8, 8)
+    xb.program(np.full((4, 4), 3, dtype=int))
+    assert xb.utilization() == pytest.approx(16 / 64)
+
+
+def test_input_shape_validation():
+    xb = ReRAMCrossbar(8, 8)
+    with pytest.raises(ValueError):
+        xb.column_currents(np.zeros(7))
+    with pytest.raises(ValueError):
+        xb.column_charges(np.zeros((2, 7)))
+
+
+def test_cell_weight_conductance_roundtrip():
+    cell = ReRAMCellSpec()
+    weights = np.arange(cell.levels)
+    recovered = cell.conductance_to_weight(cell.weight_to_conductance(weights))
+    np.testing.assert_array_equal(recovered, weights)
+
+
+def test_programming_noise_perturbs_conductances():
+    noise = HardwareNoiseConfig(seed=7)
+    xb = ReRAMCrossbar(16, 16, noise=noise)
+    weights = RNG.integers(0, 16, size=(16, 16))
+    xb.program(weights)
+    clean = xb.cell.weight_to_conductance(weights)
+    assert not np.allclose(xb.conductances, clean)
+    assert np.all(xb.conductances >= 0)

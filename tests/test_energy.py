@@ -1,0 +1,105 @@
+"""Energy-estimator invariants and the headline TIMELY-vs-baselines direction."""
+
+import pytest
+
+from repro.energy import (
+    compare_accelerators,
+    estimate_network,
+    isaac_like_config,
+    prime_like_config,
+    timely_config,
+)
+from repro.mapping import CrossbarConfig
+from repro.nn.models import build_model
+from repro.sim import format_comparison, format_per_layer, main
+
+CONFIG = CrossbarConfig()
+
+
+@pytest.fixture(scope="module")
+def vgg_estimates():
+    net = build_model("vgg_d")
+    return {est.accelerator: est for est in compare_accelerators(net, config=CONFIG)}
+
+
+def test_totals_are_layer_sums(vgg_estimates):
+    for est in vgg_estimates.values():
+        assert est.total_energy_pj == pytest.approx(
+            sum(layer.energy_pj for layer in est.layers)
+        )
+        assert est.total_latency_ns == pytest.approx(
+            sum(layer.latency_ns for layer in est.layers)
+        )
+        assert est.area_mm2 > 0
+        assert est.total_macs == sum(
+            inst.macs for inst in build_model("vgg_d").compute_instances
+        )
+
+
+def test_timely_energy_efficiency_beats_both_baselines(vgg_estimates):
+    timely = vgg_estimates["TIMELY"]
+    prime = vgg_estimates["PRIME-like"]
+    isaac = vgg_estimates["ISAAC-like"]
+    # the paper claims >10x energy-efficiency improvements; the model must at
+    # least reproduce the direction, with a wide margin
+    assert timely.tops_per_watt > 10 * prime.tops_per_watt
+    assert timely.tops_per_watt > 10 * isaac.tops_per_watt
+    assert timely.total_energy_pj < prime.total_energy_pj
+    assert timely.total_energy_pj < isaac.total_energy_pj
+
+
+def test_timely_direction_holds_across_models():
+    for name in ("cnn_1", "mlp_l", "tiny_cnn"):
+        net = build_model(name)
+        timely, prime, isaac = compare_accelerators(net, config=CONFIG)
+        assert timely.tops_per_watt > prime.tops_per_watt
+        assert timely.tops_per_watt > isaac.tops_per_watt
+
+
+def test_interface_energy_dominates_baselines(vgg_estimates):
+    # Section III of the paper: DAC/ADC interfaces and data movement dominate
+    # voltage-domain accelerators, while TIMELY's interfaces are minor.
+    isaac = vgg_estimates["ISAAC-like"].energy_breakdown_pj()
+    timely = vgg_estimates["TIMELY"].energy_breakdown_pj()
+    isaac_total = sum(isaac.values())
+    timely_total = sum(timely.values())
+    assert (isaac.get("adc", 0) + isaac.get("dac", 0)) / isaac_total > 0.3
+    assert (timely.get("tdc", 0) + timely.get("dtc", 0)) / timely_total < 0.2
+
+
+def test_crossbar_counts_identical_across_accelerators(vgg_estimates):
+    counts = {est.total_crossbars for est in vgg_estimates.values()}
+    assert len(counts) == 1  # same mapping, different pricing
+
+
+def test_estimate_network_single_config():
+    net = build_model("tiny_mlp")
+    est = estimate_network(net, timely_config(CONFIG), CONFIG)
+    assert est.accelerator == "TIMELY"
+    assert len(est.layers) == len(net.compute_instances)
+    assert est.gops > 0
+
+
+def test_formatters_render_tables(vgg_estimates):
+    estimates = list(vgg_estimates.values())
+    per_layer = format_per_layer(estimates[0])
+    assert "conv1_1" in per_layer and "total" in per_layer
+    comparison = format_comparison(estimates)
+    for name in ("TIMELY", "PRIME-like", "ISAAC-like"):
+        assert name in comparison
+
+
+def test_cli_main_runs_and_prints(capsys):
+    assert main(["--model", "tiny_cnn", "--no-per-layer"]) == 0
+    out = capsys.readouterr().out
+    assert "TIMELY" in out and "ISAAC-like" in out
+
+
+def test_cli_rejects_unknown_model_and_config(capsys):
+    assert main(["--model", "not_a_model"]) == 2
+    assert main(["--model", "tiny_cnn", "--configs", "bogus"]) == 2
+
+
+def test_cli_list_models(capsys):
+    assert main(["--list-models"]) == 0
+    assert "vgg_d" in capsys.readouterr().out

@@ -1,0 +1,71 @@
+"""Builder shape-inference tests for every model in the zoo."""
+
+import pytest
+
+from repro.nn import TensorShape, network_stats
+from repro.nn.models import MODEL_ZOO, PAPER_BENCHMARKS, build_model, list_models
+
+#: expected final output features per model
+EXPECTED_OUTPUTS = {
+    "vgg_d": 1000,
+    "vgg_1": 1000,
+    "vgg_2": 1000,
+    "vgg_3": 1000,
+    "vgg_4": 1000,
+    "msra_1": 1000,
+    "msra_2": 1000,
+    "msra_3": 1000,
+    "resnet_18": 1000,
+    "resnet_50": 1000,
+    "resnet_101": 1000,
+    "resnet_152": 1000,
+    "squeezenet": 1000,
+    "cnn_1": 10,
+    "mlp_l": 10,
+    "tiny_cnn": 4,
+    "tiny_mlp": 4,
+}
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+def test_model_builds_with_consistent_shapes(name):
+    net = build_model(name)
+    assert net.output_shape == TensorShape(EXPECTED_OUTPUTS[name])
+    assert net.total_macs > 0
+    assert net.total_weights > 0
+    # every instance's output shape feeds plausibly into the layer record
+    for inst in net:
+        assert inst.output_shape.elements > 0
+
+
+def test_vgg_d_mac_and_weight_counts_match_vgg16():
+    net = build_model("vgg_d")
+    # VGG-16: ~15.3 GMACs of conv + ~124 MMACs of FC, ~138 M parameters
+    assert 1.5e10 < net.total_macs < 1.6e10
+    assert 1.3e8 < net.total_weights < 1.45e8
+
+
+def test_paper_benchmarks_subset_of_zoo():
+    assert len(PAPER_BENCHMARKS) == 15
+    assert set(PAPER_BENCHMARKS) <= set(MODEL_ZOO)
+    assert list_models(paper_only=True) == PAPER_BENCHMARKS
+
+
+def test_unknown_model_raises_helpful_error():
+    with pytest.raises(KeyError, match="available models"):
+        build_model("nope")
+
+
+def test_network_summary_mentions_totals():
+    net = build_model("tiny_cnn")
+    summary = net.summary()
+    assert "total MACs" in summary
+    assert "conv1" in summary
+
+
+def test_network_stats_aggregates_match_network():
+    net = build_model("cnn_1")
+    stats = network_stats(net, compute_only=True)
+    assert stats.total_macs == sum(inst.macs for inst in net.compute_instances)
+    assert {layer.kind for layer in stats.layers} == {"conv", "fc"}
+    assert all(layer.input_reuse >= 1.0 for layer in stats.layers)

@@ -1,0 +1,62 @@
+"""Quantisation helper tests: round trips and the MSB/LSB split."""
+
+import numpy as np
+import pytest
+
+from repro.nn.quantization import (
+    combine_msb_lsb,
+    quantization_error,
+    quantize_symmetric,
+    quantize_unsigned,
+    split_msb_lsb,
+)
+
+RNG = np.random.default_rng(5)
+
+
+def test_symmetric_quantization_roundtrip_error_bound():
+    x = RNG.normal(size=1000)
+    quant = quantize_symmetric(x, bits=8)
+    assert quant.signed and quant.bits == 8
+    assert np.max(np.abs(quant.dequantize() - x)) <= quant.scale / 2 + 1e-12
+
+
+def test_unsigned_quantization_roundtrip_error_bound():
+    x = np.abs(RNG.normal(size=1000))
+    quant = quantize_unsigned(x, bits=8)
+    assert not quant.signed
+    assert np.all(quant.values >= 0)
+    assert np.max(np.abs(quant.dequantize() - x)) <= quant.scale / 2 + 1e-12
+
+
+def test_unsigned_quantization_rejects_negative_inputs():
+    with pytest.raises(ValueError):
+        quantize_unsigned(np.array([-1.0, 1.0]), bits=8)
+
+
+def test_quantization_error_decreases_with_bits():
+    x = RNG.normal(size=2000)
+    assert quantization_error(x, 8) < quantization_error(x, 4)
+
+
+def test_split_combine_roundtrip_unsigned():
+    values = RNG.integers(0, 256, size=(32, 32))
+    msb, lsb = split_msb_lsb(values, bits=8, low_bits=4)
+    assert np.all((lsb >= 0) & (lsb < 16))
+    assert np.all((msb >= 0) & (msb < 16))
+    np.testing.assert_array_equal(combine_msb_lsb(msb, lsb, 4), values)
+
+
+def test_split_combine_roundtrip_signed():
+    values = RNG.integers(-128, 128, size=(32, 32))
+    msb, lsb = split_msb_lsb(values, bits=8, low_bits=4)
+    assert np.all((lsb >= 0) & (lsb < 16))
+    np.testing.assert_array_equal(combine_msb_lsb(msb, lsb, 4), values)
+
+
+def test_split_rejects_bad_low_bits():
+    values = np.arange(4)
+    with pytest.raises(ValueError):
+        split_msb_lsb(values, bits=8, low_bits=0)
+    with pytest.raises(ValueError):
+        split_msb_lsb(values, bits=8, low_bits=8)

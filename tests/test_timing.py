@@ -1,0 +1,81 @@
+"""Time-domain dot-product chain tests (Eq. 2 and sub-ranging)."""
+
+import numpy as np
+
+from repro.circuits import (
+    HardwareNoiseConfig,
+    ReRAMCrossbar,
+    SubRangingDotProduct,
+    TimeDomainDotProduct,
+)
+
+RNG = np.random.default_rng(99)
+
+
+def _chain(rows=24, cols=12):
+    xb = ReRAMCrossbar(rows, cols)
+    xb.program(RNG.integers(0, xb.cell.levels, size=(rows, cols)))
+    return TimeDomainDotProduct(xb)
+
+
+def test_ideal_chain_recovers_exact_dot_product():
+    chain = _chain()
+    codes = RNG.integers(0, 256, size=chain.crossbar.rows)
+    np.testing.assert_allclose(
+        chain.compute(codes), chain.crossbar.ideal_dot_product(codes), atol=1e-6
+    )
+
+
+def test_ideal_chain_batched_inputs():
+    chain = _chain()
+    batch = RNG.integers(0, 256, size=(6, chain.crossbar.rows))
+    np.testing.assert_allclose(
+        chain.compute(batch), chain.crossbar.ideal_dot_product(batch), atol=1e-6
+    )
+
+
+def test_phase1_voltage_stays_below_threshold():
+    chain = _chain()
+    # full-scale inputs on a full-scale array must not exceed the comparator
+    # threshold (the capacitor is sized for the dynamic range)
+    full = np.full(chain.crossbar.rows, chain.dtc.levels - 1)
+    chain.crossbar.program(
+        np.full(
+            (chain.crossbar.rows, chain.crossbar.cols),
+            chain.crossbar.cell.levels - 1,
+        )
+    )
+    times = chain.output_times(full)
+    assert np.all(times >= 0)
+    assert np.all(times <= chain.dtc.full_scale_s + 1e-18)
+
+
+def test_noisy_chain_stays_close_to_ideal():
+    chain = _chain(rows=64, cols=8)
+    codes = RNG.integers(0, 256, size=64)
+    noise = HardwareNoiseConfig(seed=3)
+    ideal = chain.crossbar.ideal_dot_product(codes).astype(float)
+    est = chain.compute(codes, noise)
+    scale = max(float(np.max(np.abs(ideal))), 1.0)
+    assert np.all(np.abs(est - ideal) / scale < 0.15)
+
+
+def test_subranging_recovers_wide_weights():
+    weights = RNG.integers(0, 256, size=(24, 10))
+    sr = SubRangingDotProduct(weights, rows=24, cols=10)
+    batch = RNG.integers(0, 256, size=(4, 24))
+    np.testing.assert_allclose(sr.compute(batch), sr.ideal(batch), atol=1e-5)
+    # the ideal reference itself must equal a plain integer matmul
+    np.testing.assert_array_equal(
+        sr.ideal(batch), batch.astype(np.int64) @ weights.astype(np.int64)
+    )
+
+
+def test_cascaded_hops_preserve_ideal_result():
+    xb = ReRAMCrossbar(16, 4)
+    xb.program(RNG.integers(0, 16, size=(16, 4)))
+    chain = TimeDomainDotProduct(xb, cascade_hops=12)
+    codes = RNG.integers(0, 256, size=16)
+    np.testing.assert_allclose(
+        chain.compute(codes), xb.ideal_dot_product(codes), atol=1e-6
+    )
