@@ -107,14 +107,28 @@ class HardwareNoiseConfig:
     @classmethod
     def ideal(cls) -> "HardwareNoiseConfig":
         """A configuration with all noise sources disabled."""
+        return cls.scaled(0.0)
+
+    @classmethod
+    def scaled(cls, scale: float, seed: Optional[int] = None) -> "HardwareNoiseConfig":
+        """Every default sigma multiplied by ``scale`` (0 = ideal hardware).
+
+        This is the one-knob noise model the CLI and Monte-Carlo sweeps use:
+        the *ratios* between the per-component sigmas stay at their
+        Section-V defaults while the overall severity scales.
+        """
+        if scale < 0:
+            raise ValueError("scale must be non-negative")
+        base = cls(seed=seed)
         return cls(
-            x_subbuf_sigma=0.0,
-            p_subbuf_sigma=0.0,
-            i_adder_sigma=0.0,
-            comparator_sigma=0.0,
-            dtc_sigma=0.0,
-            tdc_sigma=0.0,
-            reram_conductance_sigma=0.0,
+            x_subbuf_sigma=base.x_subbuf_sigma * scale,
+            p_subbuf_sigma=base.p_subbuf_sigma * scale,
+            i_adder_sigma=base.i_adder_sigma * scale,
+            comparator_sigma=base.comparator_sigma * scale,
+            dtc_sigma=base.dtc_sigma * scale,
+            tdc_sigma=base.tdc_sigma * scale,
+            reram_conductance_sigma=base.reram_conductance_sigma * scale,
+            seed=seed,
         )
 
     @property

@@ -29,9 +29,12 @@ matrix; the batched path runs one matmul per crossbar.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.context import SimContext
 
 from repro.circuits.analog_buffers import ChargingUnit, Comparator, XSubBuf
 from repro.circuits.converters import DTC
@@ -185,6 +188,24 @@ class SubRangingDotProduct:
 
         self.msb_chain = TimeDomainDotProduct(self.msb_crossbar, dtc=dtc, v_dd=v_dd)
         self.lsb_chain = TimeDomainDotProduct(self.lsb_crossbar, dtc=dtc, v_dd=v_dd)
+
+    @classmethod
+    def from_context(cls, ctx: "SimContext", weights: np.ndarray) -> "SubRangingDotProduct":
+        """Build the MSB/LSB pair from a :class:`repro.context.SimContext`.
+
+        The cell, converter and supply parameters all come from ``ctx.arch``
+        and the programming noise from ``ctx.noise``, so the functional
+        engine and the analytics price exactly the same hardware.
+        """
+        return cls(
+            weights,
+            rows=ctx.arch.rows,
+            cols=ctx.arch.cols,
+            cell=ctx.arch.cell_spec(),
+            noise=ctx.noise,
+            dtc=ctx.arch.dtc(),
+            v_dd=ctx.arch.v_dd,
+        )
 
     def compute(
         self, codes: np.ndarray, noise: Optional[HardwareNoiseConfig] = None

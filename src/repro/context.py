@@ -1,0 +1,189 @@
+"""Shared simulation context threaded through circuits → mapping → energy → engine → sim.
+
+Prior to this module, every layer of the stack took its own ad-hoc pair of
+configuration objects: the mapper a ``CrossbarConfig``, the estimator a
+``CrossbarConfig`` *plus* an ``AcceleratorSpec``, and the circuit models a
+loose bag of cell / converter dataclasses that had to be kept consistent with
+both by hand.  :class:`ArchSpec` and :class:`SimContext` unify that:
+
+* :class:`ArchSpec` is the single description of the *physical* architecture —
+  crossbar geometry, per-cell precision, weight/input precision, the ReRAM
+  resistance range and the interface resolution.  It subsumes the old
+  ``CrossbarConfig`` (which is now an alias of it, so existing call sites and
+  pickles keep working) and knows how to build the circuit-level dataclasses
+  (:meth:`ArchSpec.cell_spec`, :meth:`ArchSpec.dtc`) so the behavioural models
+  and the analytics can no longer drift apart.
+* :class:`SimContext` bundles an :class:`ArchSpec` with the *run-time* choices
+  of one simulation: which accelerator configuration prices the events, which
+  noise model (if any) perturbs the analog chains, and the seed that makes a
+  run reproducible.  The functional engine (:mod:`repro.engine`), the energy
+  estimator (:mod:`repro.energy.estimator`) and the CLI (:mod:`repro.sim`)
+  all consume one ``SimContext`` instead of re-deriving the pieces.
+
+This module only imports :mod:`numpy` and the leaf circuit dataclasses at
+call time, so every other package (``circuits``, ``mapping``, ``energy``,
+``engine``, ``sim``) can import it without creating a cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.circuits.converters import DTC, TDC
+    from repro.circuits.noise import HardwareNoiseConfig
+    from repro.circuits.reram import ReRAMCellSpec, ReRAMCrossbar
+    from repro.energy.tables import AcceleratorSpec
+    from repro.mapping.crossbar_mapping import NetworkMapping
+    from repro.nn.network import Network
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Physical architecture: crossbar geometry, precision and cell physics.
+
+    The first five fields are the historical ``CrossbarConfig`` fields (the
+    defaults are the paper's PRIME-comparison configuration: 256x256 arrays of
+    4-bit cells holding 8-bit weights driven by 8-bit inputs); the remaining
+    fields lift the circuit-level knobs that used to be hard-coded at each
+    construction site.
+    """
+
+    rows: int = 256
+    cols: int = 256
+    cell_bits: int = 4
+    weight_bits: int = 8
+    input_bits: int = 8
+    #: ReRAM resistance range (Section II-B); sets g_min/g_max of every cell
+    r_min_ohm: float = 20e3
+    r_max_ohm: float = 2e6
+    #: DTC/TDC unit delay (50 ps per Table II)
+    t_del_s: float = 50e-12
+    #: supply driving the rows during phase I
+    v_dd: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("crossbar dimensions must be positive")
+        if self.cell_bits <= 0 or self.weight_bits <= 0 or self.input_bits <= 0:
+            raise ValueError("bit widths must be positive")
+        if self.r_min_ohm <= 0 or self.r_max_ohm <= self.r_min_ohm:
+            raise ValueError("require 0 < r_min < r_max")
+        if self.t_del_s <= 0:
+            raise ValueError("unit delay must be positive")
+        if self.v_dd <= 0:
+            raise ValueError("V_DD must be positive")
+
+    # -- geometry (the old CrossbarConfig surface) ----------------------------
+    @property
+    def cols_per_weight(self) -> int:
+        """Bit-cell columns per weight (MSB/LSB split across adjacent cells)."""
+        return math.ceil(self.weight_bits / self.cell_bits)
+
+    @property
+    def cells(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def weights_per_col_tile(self) -> int:
+        """Full-precision weights held by the columns of one physical tile."""
+        return self.cols // self.cols_per_weight
+
+    # -- circuit-model factories ----------------------------------------------
+    def cell_spec(self) -> "ReRAMCellSpec":
+        """The ReRAM cell description implied by this architecture."""
+        from repro.circuits.reram import ReRAMCellSpec
+
+        return ReRAMCellSpec(
+            bits_per_cell=self.cell_bits,
+            r_min_ohm=self.r_min_ohm,
+            r_max_ohm=self.r_max_ohm,
+        )
+
+    def dtc(self) -> "DTC":
+        """An input DTC matching the architecture's input precision."""
+        from repro.circuits.converters import DTC
+
+        return DTC(resolution=self.input_bits, t_del_s=self.t_del_s)
+
+    def tdc(self) -> "TDC":
+        """An output TDC on the same time axis as :meth:`dtc`."""
+        from repro.circuits.converters import TDC
+
+        return TDC(resolution=self.input_bits, t_del_s=self.t_del_s)
+
+    def make_crossbar(self, noise: Optional["HardwareNoiseConfig"] = None) -> "ReRAMCrossbar":
+        """A blank physical crossbar of this geometry."""
+        from repro.circuits.reram import ReRAMCrossbar
+
+        return ReRAMCrossbar(self.rows, self.cols, self.cell_spec(), noise)
+
+
+#: Names accepted by :meth:`SimContext.accelerator_spec` / the CLI.
+ACCELERATOR_STYLES = ("timely", "prime", "isaac")
+
+
+def accelerator_factories() -> dict:
+    """The accelerator-name → config-factory registry, keyed by
+    :data:`ACCELERATOR_STYLES`.  This is the single place the mapping is
+    defined; the CLI and :meth:`SimContext.accelerator_spec` both read it.
+    """
+    from repro.energy.tables import (
+        isaac_like_config,
+        prime_like_config,
+        timely_config,
+    )
+
+    return dict(zip(ACCELERATOR_STYLES, (timely_config, prime_like_config, isaac_like_config)))
+
+
+@dataclass
+class SimContext:
+    """One simulation run: architecture + accelerator + noise + seed.
+
+    ``accelerator`` selects the event-pricing configuration by name
+    (``"timely"``, ``"prime"`` or ``"isaac"``); ``noise`` perturbs the analog
+    chains of the functional engine (``None`` = ideal hardware); ``seed``
+    drives every deterministic draw (weight initialisation, input
+    generation), so two contexts with equal fields reproduce each other
+    exactly.
+    """
+
+    arch: ArchSpec = field(default_factory=ArchSpec)
+    accelerator: str = "timely"
+    noise: Optional["HardwareNoiseConfig"] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.accelerator not in ACCELERATOR_STYLES:
+            raise ValueError(
+                f"unknown accelerator {self.accelerator!r}; "
+                f"choose from: {', '.join(ACCELERATOR_STYLES)}"
+            )
+
+    # -- derived objects -------------------------------------------------------
+    def accelerator_spec(self) -> "AcceleratorSpec":
+        """The event-cost configuration pricing this context's accelerator."""
+        return accelerator_factories()[self.accelerator](self.arch)
+
+    def map_network(self, network: "Network") -> "NetworkMapping":
+        """Tile ``network`` onto this context's crossbars."""
+        from repro.mapping.crossbar_mapping import map_network
+
+        return map_network(network, self.arch)
+
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        """A fresh deterministic generator (``salt`` decorrelates streams)."""
+        return np.random.default_rng((self.seed, salt))
+
+    def with_noise(self, noise: Optional["HardwareNoiseConfig"]) -> "SimContext":
+        """A copy of this context with a different noise model."""
+        return replace(self, noise=noise)
+
+    def ideal(self) -> "SimContext":
+        """A copy of this context with all noise sources disabled."""
+        return self.with_noise(None)

@@ -18,6 +18,7 @@ from repro.energy.estimator import (
     estimate_layer,
     estimate_network,
     layer_access_counts,
+    pipelined_latency_ns,
 )
 from repro.energy.tables import (
     AcceleratorSpec,
@@ -39,4 +40,5 @@ __all__ = [
     "estimate_network",
     "compare_accelerators",
     "layer_access_counts",
+    "pipelined_latency_ns",
 ]

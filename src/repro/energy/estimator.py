@@ -14,14 +14,26 @@ system-level methodology):
   positions times the input slices per position times the cycle time;
 * network latency is the sum of layer latencies (one image, no cross-layer
   pipelining), throughput is total operations over that latency;
+* optionally, a *cross-layer pipelined* latency is estimated as well: with
+  every layer's crossbars resident (weights stationary), layer ``l+1`` can
+  start consuming output positions as soon as layer ``l`` produces them, so
+  a single image costs one pipeline fill (one position step per layer) plus
+  the drain of the bottleneck layer — ``(n_layers - 1) * step + max_l
+  latency_l``.  This is the dataflow ISAAC's inter-layer pipeline and
+  TIMELY's sub-Chip pipelining both target;
 * energy efficiency is total operations over total energy (TOPS/W).
+
+Entry points accept either the explicit ``(spec, config)`` pair or a single
+:class:`repro.context.SimContext` (the ``ctx`` keyword), which supplies
+both.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.context import SimContext
 from repro.mapping.access_counts import (
     AccessCounts,
     timely_access_counts,
@@ -73,12 +85,19 @@ class LayerEstimate:
 
 @dataclass(frozen=True)
 class NetworkEstimate:
-    """Whole-network estimate of one accelerator configuration."""
+    """Whole-network estimate of one accelerator configuration.
+
+    ``pipelined_latency_ns`` is populated when the estimate was made with
+    ``pipelined=True``: the single-image latency under cross-layer
+    pipelining (pipeline fill plus bottleneck drain) instead of the
+    sequential layer-by-layer sum.
+    """
 
     model: str
     accelerator: str
     layers: List[LayerEstimate]
     area_mm2: float
+    pipelined_latency_ns: Optional[float] = None
 
     @property
     def total_energy_pj(self) -> float:
@@ -109,6 +128,20 @@ class NetworkEstimate:
     def gops(self) -> float:
         """Throughput on one image: ops per nanosecond == GOPS."""
         return self.total_operations / self.total_latency_ns
+
+    @property
+    def effective_latency_ns(self) -> float:
+        """Pipelined latency when estimated, else the sequential sum."""
+        if self.pipelined_latency_ns is not None:
+            return self.pipelined_latency_ns
+        return self.total_latency_ns
+
+    @property
+    def pipelined_gops(self) -> Optional[float]:
+        """Throughput under cross-layer pipelining (None when not estimated)."""
+        if self.pipelined_latency_ns is None:
+            return None
+        return self.total_operations / self.pipelined_latency_ns
 
     def energy_breakdown_pj(self) -> Dict[str, float]:
         """Per-component energy totals over the whole network."""
@@ -148,25 +181,65 @@ def estimate_layer(
     )
 
 
+def pipelined_latency_ns(
+    layers: Sequence[LayerEstimate], spec: AcceleratorSpec, config: CrossbarConfig
+) -> float:
+    """Single-image latency under cross-layer pipelining.
+
+    All layers' crossbars are resident (weights stationary), so layer
+    ``l+1`` starts as soon as layer ``l`` emits its first output position:
+    the image costs one position step per non-bottleneck layer (pipeline
+    fill) plus the full latency of the slowest layer (the drain).
+    """
+    if not layers:
+        return 0.0
+    step = spec.input_slices(config) * spec.cycle_time_ns
+    return (len(layers) - 1) * step + max(layer.latency_ns for layer in layers)
+
+
 def estimate_network(
     network: Network,
-    spec: AcceleratorSpec,
-    config: CrossbarConfig = CrossbarConfig(),
+    spec: Optional[AcceleratorSpec] = None,
+    config: Optional[CrossbarConfig] = None,
+    *,
+    ctx: Optional[SimContext] = None,
+    pipelined: bool = False,
 ) -> NetworkEstimate:
-    """Price every compute layer of ``network`` on one accelerator."""
+    """Price every compute layer of ``network`` on one accelerator.
+
+    Either pass an explicit ``(spec, config)`` pair, or a ``ctx`` whose
+    architecture and accelerator choice supply both.
+    """
+    if ctx is not None:
+        spec = spec or ctx.accelerator_spec()
+        config = config or ctx.arch
+    if spec is None:
+        raise ValueError("estimate_network needs an AcceleratorSpec or a ctx")
+    config = config if config is not None else CrossbarConfig()
     mapping = map_network(network, config)
     layers = [estimate_layer(layer, spec, config) for layer in mapping]
     area_mm2 = mapping.total_crossbars * spec.area_per_crossbar_um2(config) / 1e6
     return NetworkEstimate(
-        model=network.name, accelerator=spec.name, layers=layers, area_mm2=area_mm2
+        model=network.name,
+        accelerator=spec.name,
+        layers=layers,
+        area_mm2=area_mm2,
+        pipelined_latency_ns=(
+            pipelined_latency_ns(layers, spec, config) if pipelined else None
+        ),
     )
 
 
 def compare_accelerators(
     network: Network,
     specs: Sequence[AcceleratorSpec] = (),
-    config: CrossbarConfig = CrossbarConfig(),
+    config: Optional[CrossbarConfig] = None,
+    *,
+    pipelined: bool = False,
 ) -> List[NetworkEstimate]:
     """Estimate ``network`` on every configuration (default: the paper's three)."""
+    config = config if config is not None else CrossbarConfig()
     specs = list(specs) or default_configs(config)
-    return [estimate_network(network, spec, config) for spec in specs]
+    return [
+        estimate_network(network, spec, config, pipelined=pipelined) for spec in specs
+    ]

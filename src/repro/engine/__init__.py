@@ -1,0 +1,42 @@
+"""Functional simulation engine: execute networks through mapped crossbars.
+
+Where :mod:`repro.mapping` and :mod:`repro.energy` *price* a network on the
+TIMELY architecture, this package *runs* one: real activations are pushed
+through the same crossbar tiling via the behavioural time-domain circuit
+chains of :mod:`repro.circuits.timing`, and the result is validated against
+the pure-numpy float reference.  See :class:`NetworkExecutor` for the
+pipeline and the ``run`` subcommand of ``python -m repro.sim`` for the CLI.
+
+* :mod:`repro.engine.params` — deterministic weight/bias generation,
+* :mod:`repro.engine.reference` — the exact float forward pass,
+* :mod:`repro.engine.tiles` — tile-level programming and batched read-out,
+* :mod:`repro.engine.executor` — the whole-network orchestrator.
+
+All of it is driven by one :class:`repro.context.SimContext`.
+"""
+
+from repro.engine.errors import EngineError
+from repro.engine.executor import (
+    ExecutionResult,
+    LayerTrace,
+    NetworkExecutor,
+    relative_error,
+    run_network,
+)
+from repro.engine.params import LayerParams, NetworkParams
+from repro.engine.reference import reference_forward, validate_sequential
+from repro.engine.tiles import TiledMatmul
+
+__all__ = [
+    "EngineError",
+    "ExecutionResult",
+    "LayerTrace",
+    "NetworkExecutor",
+    "run_network",
+    "relative_error",
+    "LayerParams",
+    "NetworkParams",
+    "reference_forward",
+    "validate_sequential",
+    "TiledMatmul",
+]

@@ -1,0 +1,13 @@
+"""Errors raised by the functional simulation engine."""
+
+from __future__ import annotations
+
+
+class EngineError(RuntimeError):
+    """A network, layer or activation the functional engine cannot execute.
+
+    Raised for branching topologies (the engine executes the flat,
+    shape-chained view only), unsupported layer kinds, architectures whose
+    weight precision does not fit one or two bit-cell columns, and negative
+    layer inputs (TIMELY encodes activations as unsigned post-ReLU codes).
+    """

@@ -1,0 +1,244 @@
+"""Whole-network functional simulation through mapped crossbars.
+
+:class:`NetworkExecutor` is the end-to-end path the analytics packages
+cannot provide on their own: it takes a resolved
+:class:`repro.nn.network.Network`, tiles every conv/FC layer onto physical
+crossbars exactly as :func:`repro.mapping.crossbar_mapping.map_network`
+counts them, and pushes real activations through the
+:mod:`repro.circuits.timing` time-domain chains:
+
+1. per-layer weight programming — symmetric ``weight_bits`` quantisation,
+   offset encoding and the MSB/LSB split onto tile pairs,
+2. im2col slicing of the (unsigned-quantised) input activations,
+3. tile-level time-domain dot products, batched over input columns, with
+   optional :mod:`repro.circuits.noise` injection,
+4. partial-sum recombination across row tiles, digital offset removal,
+   dequantisation and bias addition,
+5. auxiliary layers (ReLU, pooling, batch-norm, flatten, GAP) applied with
+   the same :mod:`repro.nn.functional` kernels as the float reference.
+
+Every run is validated against the pure-numpy reference
+(:func:`repro.engine.reference.reference_forward`) with identical
+parameters; the per-layer relative errors quantify what quantisation and
+the analog chains cost in accuracy — the paper's core claim is that with
+noise disabled this error stays at the quantisation floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.context import SimContext
+from repro.engine.errors import EngineError
+from repro.engine.params import NetworkParams
+from repro.engine.reference import (
+    apply_aux_layer,
+    check_activation_shape,
+    conv_padding,
+    reference_forward,
+    validate_sequential,
+)
+from repro.engine.tiles import MODES, TiledMatmul
+from repro.nn import functional as F
+from repro.nn.layers import Conv2D, FullyConnected
+from repro.nn.network import LayerInstance, Network
+from repro.nn.quantization import quantize_symmetric_per_channel, quantize_unsigned
+
+
+def relative_error(estimate: np.ndarray, reference: np.ndarray) -> float:
+    """L2-norm relative error of an estimate against its reference."""
+    ref_norm = float(np.linalg.norm(reference))
+    if ref_norm == 0.0:
+        return float(np.linalg.norm(estimate))
+    return float(np.linalg.norm(estimate - reference)) / ref_norm
+
+
+@dataclass(frozen=True)
+class LayerTrace:
+    """Per-layer record of one engine run."""
+
+    name: str
+    kind: str
+    crossbars: int
+    rel_error: float
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of one engine run, with its float-reference comparison."""
+
+    model: str
+    mode: str
+    output: np.ndarray
+    reference: np.ndarray
+    traces: List[LayerTrace] = field(default_factory=list)
+
+    @property
+    def rel_error(self) -> float:
+        """L2 relative error of the final output against the reference."""
+        return relative_error(self.output, self.reference)
+
+    def trace_by_name(self) -> Dict[str, LayerTrace]:
+        return {trace.name: trace for trace in self.traces}
+
+
+class _MappedComputeLayer:
+    """One conv/FC layer programmed onto crossbar tiles (all groups)."""
+
+    def __init__(self, inst: LayerInstance, params: NetworkParams, ctx: SimContext, mode: str):
+        self.inst = inst
+        layer = inst.layer
+        p = params[inst.name]
+        # Per-output-channel scales: every output channel owns its crossbar
+        # column(s), and the TDC read-out is dequantised digitally, so each
+        # channel can use the full integer range.
+        quant = quantize_symmetric_per_channel(p.weights, ctx.arch.weight_bits)
+        self.w_scales = quant.scales  # (out_channels,)
+        self.bias = p.bias
+        self.groups: List[TiledMatmul] = []
+        if isinstance(layer, Conv2D):
+            self.kind = "conv"
+            self.stride = layer.stride
+            self.pad = conv_padding(layer)
+            self.kernel = layer.kernel_h
+            self.group_channels = layer.in_channels // layer.groups
+            group_out = layer.out_channels // layer.groups
+            for g in range(layer.groups):
+                w_g = quant.values[g * group_out : (g + 1) * group_out]
+                matrix = w_g.reshape(group_out, -1).T  # (C/g*Z*G, D/g)
+                self.groups.append(TiledMatmul(matrix, ctx, mode))
+        elif isinstance(layer, FullyConnected):
+            self.kind = "fc"
+            self.groups.append(TiledMatmul(quant.values.T, ctx, mode))
+        else:  # pragma: no cover - guarded by validate_sequential
+            raise EngineError(f"layer {inst.name!r} is not a compute layer")
+
+    @property
+    def crossbars(self) -> int:
+        return sum(group.crossbars for group in self.groups)
+
+    def forward(self, act: np.ndarray, input_bits: int) -> np.ndarray:
+        """Quantise ``act``, run it through the tiles, dequantise the result."""
+        if np.any(act < 0):
+            raise EngineError(
+                f"layer {self.inst.name!r} received negative inputs; the "
+                "time-domain engine encodes activations as unsigned "
+                "(post-ReLU) codes"
+            )
+        quant = quantize_unsigned(act, input_bits)
+        out_scales = self.w_scales * quant.scale  # (out_channels,)
+        if self.kind == "fc":
+            y = self.groups[0].matmul(quant.values.reshape(1, -1))[0] * out_scales
+            if self.bias is not None:
+                y = y + self.bias
+            return y
+        outputs = []
+        out_h = out_w = 0
+        for g, tiles in enumerate(self.groups):
+            x_g = quant.values[g * self.group_channels : (g + 1) * self.group_channels]
+            cols, out_h, out_w = F.im2col(x_g, self.kernel, self.stride, self.pad)
+            outputs.append(tiles.matmul(cols))  # (positions, D/groups)
+        out = np.concatenate(outputs, axis=1) * out_scales
+        if self.bias is not None:
+            out = out + self.bias
+        return out.T.reshape(-1, out_h, out_w)
+
+
+class NetworkExecutor:
+    """Execute a network through its crossbar mapping, tracking accuracy.
+
+    Parameters
+    ----------
+    network:
+        A sequential resolved network (branching topologies are rejected).
+    ctx:
+        The :class:`repro.context.SimContext` supplying architecture, noise
+        and the seed for deterministic parameter generation.
+    mode:
+        ``"analog"`` (full time-domain chains) or ``"ideal"`` (exact tile
+        read-out; isolates quantisation error from analog error).
+    params:
+        Optional pre-built parameters; defaults to
+        ``NetworkParams(network, ctx.seed)``.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        ctx: Optional[SimContext] = None,
+        mode: str = "analog",
+        params: Optional[NetworkParams] = None,
+    ):
+        if mode not in MODES:
+            raise EngineError(f"unknown engine mode {mode!r}; choose from: {MODES}")
+        self.network = network
+        self.ctx = ctx or SimContext()
+        self.mode = mode
+        validate_sequential(network)
+        self.params = params or NetworkParams(network, self.ctx.seed)
+        self.mapping = self.ctx.map_network(network)
+        self._compute: Dict[str, _MappedComputeLayer] = {
+            inst.name: _MappedComputeLayer(inst, self.params, self.ctx, mode)
+            for inst in network.compute_instances
+        }
+
+    @property
+    def crossbars(self) -> int:
+        """Programmed physical crossbars (pairs counted once, as the mapper does)."""
+        return sum(layer.crossbars for layer in self._compute.values())
+
+    def random_input(self, salt: int = 1) -> np.ndarray:
+        """A deterministic non-negative input image for this context's seed."""
+        shape = self.network.input_shape
+        return self.ctx.rng(salt).uniform(
+            0.0, 1.0, size=(shape.channels, shape.height, shape.width)
+        )
+
+    def run_reference(self, x: np.ndarray) -> np.ndarray:
+        """The float reference output for ``x`` with this executor's weights."""
+        return reference_forward(self.network, self.params, x)[0]
+
+    def run(self, x: Optional[np.ndarray] = None) -> ExecutionResult:
+        """Execute ``x`` (default: :meth:`random_input`) through the crossbars."""
+        act = np.asarray(x, dtype=float) if x is not None else self.random_input()
+        if np.any(act < 0):
+            raise EngineError("engine inputs must be non-negative (unsigned input codes)")
+        _, ref_acts = reference_forward(self.network, self.params, act)
+        traces: List[LayerTrace] = []
+        for inst in self.network:
+            if inst.name in self._compute:
+                mapped = self._compute[inst.name]
+                act = mapped.forward(act, self.ctx.arch.input_bits)
+                crossbars = mapped.crossbars
+            else:
+                act = apply_aux_layer(inst, act, self.params)
+                crossbars = 0
+            check_activation_shape(inst, act)
+            traces.append(
+                LayerTrace(
+                    name=inst.name,
+                    kind=inst.kind,
+                    crossbars=crossbars,
+                    rel_error=relative_error(act, ref_acts[inst.name]),
+                )
+            )
+        return ExecutionResult(
+            model=self.network.name,
+            mode=self.mode,
+            output=act,
+            reference=ref_acts[self.network[len(self.network) - 1].name],
+            traces=traces,
+        )
+
+
+def run_network(
+    network: Network,
+    ctx: Optional[SimContext] = None,
+    x: Optional[np.ndarray] = None,
+    mode: str = "analog",
+) -> ExecutionResult:
+    """One-shot convenience wrapper around :class:`NetworkExecutor`."""
+    return NetworkExecutor(network, ctx, mode).run(x)

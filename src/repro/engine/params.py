@@ -1,0 +1,77 @@
+"""Deterministic parameter generation for functional simulation.
+
+The :class:`repro.nn.network.Network` descriptors carry shapes and MAC
+counts but no weight values; the functional engine needs both.
+:class:`NetworkParams` fills that gap with a deterministic, seed-driven
+initialisation (He-style fan-in scaling for conv/FC weights, benign
+scale/shift statistics for folded batch-norm), so an engine run is exactly
+reproducible from its :class:`repro.context.SimContext` seed and two runs
+with the same seed execute the same network.
+
+Per-layer generators are derived from ``(seed, layer_index)`` rather than a
+single shared stream, so inserting or reordering layers does not silently
+reshuffle every other layer's weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm, Conv2D, FullyConnected
+from repro.nn.network import Network
+
+
+@dataclass(frozen=True)
+class LayerParams:
+    """Parameter tensors of one layer (fields unused by the kind are None)."""
+
+    #: conv: ``(D, C // groups, Z, G)``; fc: ``(out, in)``
+    weights: Optional[np.ndarray] = None
+    bias: Optional[np.ndarray] = None
+    #: folded batch-norm per-channel scale / shift
+    scale: Optional[np.ndarray] = None
+    shift: Optional[np.ndarray] = None
+
+
+class NetworkParams:
+    """Deterministic parameters for every parameterised layer of a network."""
+
+    def __init__(self, network: Network, seed: int = 0):
+        self.network_name = network.name
+        self.seed = seed
+        self._params: Dict[str, LayerParams] = {}
+        for inst in network:
+            layer = inst.layer
+            rng = np.random.default_rng((seed, inst.index))
+            if isinstance(layer, Conv2D):
+                shape = (
+                    layer.out_channels,
+                    layer.in_channels // layer.groups,
+                    layer.kernel_h,
+                    layer.kernel_w,
+                )
+                fan_in = shape[1] * shape[2] * shape[3]
+                weights = rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+                bias = rng.uniform(-0.1, 0.1, size=layer.out_channels) if layer.bias else None
+                self._params[inst.name] = LayerParams(weights=weights, bias=bias)
+            elif isinstance(layer, FullyConnected):
+                shape = (layer.out_features, layer.in_features)
+                weights = rng.normal(0.0, np.sqrt(2.0 / layer.in_features), size=shape)
+                bias = rng.uniform(-0.1, 0.1, size=layer.out_features) if layer.bias else None
+                self._params[inst.name] = LayerParams(weights=weights, bias=bias)
+            elif isinstance(layer, BatchNorm):
+                scale = rng.uniform(0.8, 1.2, size=layer.channels)
+                shift = rng.normal(0.0, 0.05, size=layer.channels)
+                self._params[inst.name] = LayerParams(scale=scale, shift=shift)
+
+    def __getitem__(self, name: str) -> LayerParams:
+        return self._params[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._params
+
+    def __len__(self) -> int:
+        return len(self._params)

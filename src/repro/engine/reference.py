@@ -1,0 +1,132 @@
+"""Pure-numpy reference execution of a resolved network.
+
+This is the ground truth the crossbar engine is validated against: the same
+:class:`~repro.engine.params.NetworkParams` pushed through the exact
+float kernels of :mod:`repro.nn.functional`.  The auxiliary (non-MAC)
+layers are applied through :func:`apply_aux_layer`, which the crossbar
+executor shares, so the two paths can only differ in the conv/FC dot
+products — exactly the part the crossbars replace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.engine.errors import EngineError
+from repro.engine.params import NetworkParams
+from repro.nn import functional as F
+from repro.nn.layers import Conv2D, FullyConnected, Pool2D, _resolve_padding
+from repro.nn.network import LayerInstance, Network
+
+#: layer kinds the flat executor understands
+SUPPORTED_KINDS = ("conv", "fc", "pool", "relu", "bn", "flatten", "gap")
+
+
+def validate_sequential(network: Network) -> None:
+    """Reject networks the flat engine cannot execute faithfully.
+
+    The engine runs the layer list as a chain, so every layer must consume
+    the previous layer's output; branching topologies (ResNet ``add``
+    joins, SqueezeNet fire concatenations, built via ``NetworkBuilder.at``)
+    break that invariant and are rejected up front rather than silently
+    mis-executed.
+    """
+    shape = network.input_shape
+    for inst in network:
+        if inst.kind not in SUPPORTED_KINDS:
+            raise EngineError(
+                f"layer {inst.name!r} of kind {inst.kind!r} is not supported by "
+                f"the functional engine (supported: {', '.join(SUPPORTED_KINDS)})"
+            )
+        layer = inst.layer
+        if isinstance(layer, Conv2D) and layer.kernel_h != layer.kernel_w:
+            raise EngineError(
+                f"layer {inst.name!r} has a {layer.kernel_h}x{layer.kernel_w} "
+                "kernel; the functional engine (like the im2col reference "
+                "kernels) supports square filters only"
+            )
+        if inst.input_shape != shape:
+            raise EngineError(
+                f"layer {inst.name!r} expects input {inst.input_shape}, but the "
+                f"previous layer produces {shape}; the functional engine only "
+                "executes sequential (non-branching) networks"
+            )
+        shape = inst.output_shape
+
+
+def conv_padding(layer: Conv2D) -> int:
+    """Resolve a conv layer's padding spec to a pixel count.
+
+    ``"same"`` resolves to ``(kernel - 1) // 2``; for the even-kernel /
+    strided corner cases where that differs from the ceil-based shape
+    inference, the executor's output-shape check catches the mismatch.
+    """
+    if layer.padding == "same":
+        return (layer.kernel_h - 1) // 2
+    return _resolve_padding(layer.padding, layer.kernel_h)
+
+
+def apply_aux_layer(inst: LayerInstance, act: np.ndarray, params: NetworkParams) -> np.ndarray:
+    """Apply one non-MAC layer (shared by the reference and crossbar paths)."""
+    layer = inst.layer
+    if inst.kind == "relu":
+        return F.relu(act)
+    if inst.kind == "pool":
+        assert isinstance(layer, Pool2D)
+        pad = _resolve_padding(layer.padding, layer.kernel)
+        pool = F.max_pool2d if layer.mode == "max" else F.avg_pool2d
+        return pool(act, layer.kernel, layer.stride, pad)
+    if inst.kind == "bn":
+        p = params[inst.name]
+        return F.batch_norm(act, p.scale, p.shift)
+    if inst.kind == "flatten":
+        return act.reshape(-1)
+    if inst.kind == "gap":
+        return F.global_avg_pool(act)
+    raise EngineError(f"layer {inst.name!r} of kind {inst.kind!r} is not an auxiliary layer")
+
+
+def check_activation_shape(inst: LayerInstance, act: np.ndarray) -> None:
+    """Assert an activation matches the instance's resolved output shape."""
+    shape = inst.output_shape
+    expected = (shape.channels,) if shape.is_flat else (
+        shape.channels,
+        shape.height,
+        shape.width,
+    )
+    if act.shape != expected:
+        raise EngineError(
+            f"layer {inst.name!r} produced activation shape {act.shape}, but "
+            f"shape inference resolved {expected} (check padding spec)"
+        )
+
+
+def reference_forward(
+    network: Network, params: NetworkParams, x: np.ndarray
+) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """Run the float reference, returning the output and per-layer activations."""
+    validate_sequential(network)
+    act = np.asarray(x, dtype=float)
+    activations: Dict[str, np.ndarray] = {}
+    for inst in network:
+        layer = inst.layer
+        if isinstance(layer, Conv2D):
+            p = params[inst.name]
+            act = F.conv2d(
+                act,
+                p.weights,
+                p.bias,
+                stride=layer.stride,
+                pad=conv_padding(layer),
+                groups=layer.groups,
+            )
+        elif isinstance(layer, FullyConnected):
+            p = params[inst.name]
+            act = F.fully_connected(act, p.weights, p.bias)
+        else:
+            act = apply_aux_layer(inst, act, params)
+        check_activation_shape(inst, act)
+        activations[inst.name] = act
+    return act, activations

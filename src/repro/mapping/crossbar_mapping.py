@@ -21,39 +21,15 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterator, List
 
+from repro.context import ArchSpec
 from repro.nn.layers import Conv2D, FullyConnected
 from repro.nn.network import LayerInstance, Network
 
-
-@dataclass(frozen=True)
-class CrossbarConfig:
-    """Physical crossbar geometry and weight/input precision.
-
-    The defaults are the paper's PRIME-comparison configuration: 256x256
-    arrays of 4-bit cells holding 8-bit weights (two cells per weight) driven
-    by 8-bit inputs.
-    """
-
-    rows: int = 256
-    cols: int = 256
-    cell_bits: int = 4
-    weight_bits: int = 8
-    input_bits: int = 8
-
-    def __post_init__(self) -> None:
-        if self.rows <= 0 or self.cols <= 0:
-            raise ValueError("crossbar dimensions must be positive")
-        if self.cell_bits <= 0 or self.weight_bits <= 0 or self.input_bits <= 0:
-            raise ValueError("bit widths must be positive")
-
-    @property
-    def cols_per_weight(self) -> int:
-        """Bit-cell columns per weight (MSB/LSB split across adjacent cells)."""
-        return math.ceil(self.weight_bits / self.cell_bits)
-
-    @property
-    def cells(self) -> int:
-        return self.rows * self.cols
+#: Historical name of the crossbar geometry record.  The physical description
+#: now lives in :class:`repro.context.ArchSpec` (shared by circuits, mapping,
+#: energy and the functional engine); ``CrossbarConfig`` remains as an alias
+#: so existing call sites keep working unchanged.
+CrossbarConfig = ArchSpec
 
 
 @dataclass(frozen=True)
@@ -111,6 +87,18 @@ def map_layer(inst: LayerInstance, config: CrossbarConfig) -> LayerMapping:
         raise TypeError(f"layer {inst.name!r} of kind {inst.kind!r} is not mappable")
 
     cols_needed = (out_channels // groups) * config.cols_per_weight
+    # Column tiles are counted in whole-weight units: all cols_per_weight
+    # bit-cell columns of a weight must land in the same physical crossbar
+    # (the sub-ranging read-out recombines them locally), so a tile holds
+    # floor(cols / cols_per_weight) weights, not cols / cols_per_weight
+    # fractional ones.
+    weights_per_tile = config.weights_per_col_tile
+    if weights_per_tile == 0:
+        raise ValueError(
+            f"a {config.cols}-column crossbar cannot hold a single "
+            f"{config.weight_bits}-bit weight "
+            f"({config.cols_per_weight} bit-cell columns per weight)"
+        )
     return LayerMapping(
         name=inst.name,
         kind=inst.kind,
@@ -118,7 +106,7 @@ def map_layer(inst: LayerInstance, config: CrossbarConfig) -> LayerMapping:
         rows_needed=rows_needed,
         cols_needed=cols_needed,
         row_tiles=math.ceil(rows_needed / config.rows),
-        col_tiles=math.ceil(cols_needed / config.cols),
+        col_tiles=math.ceil((out_channels // groups) / weights_per_tile),
         output_positions=output_positions,
         output_channels=out_channels,
         macs=inst.macs,

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 
 def relu(x: np.ndarray) -> np.ndarray:
@@ -48,6 +49,33 @@ def im2col(x: np.ndarray, kernel: int, stride: int, pad: int) -> Tuple[np.ndarra
         output position, matching how inputs are presented to a crossbar.
     out_h, out_w:
         Spatial output dimensions.
+    """
+    channels, height, width = x.shape
+    padded = pad_spatial(x, pad)
+    out_h = (height + 2 * pad - kernel) // stride + 1
+    out_w = (width + 2 * pad - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("kernel/stride/pad combination produces empty output")
+
+    # (C, out_h, out_w, k, k) strided view of every kernel window.  The copy
+    # is gathered in (C*k*k, position) order — for unit stride the innermost
+    # axis is then a contiguous image row, so the copy runs at memcpy speed —
+    # and returned as the (position, C*k*k) transpose.  That transpose is
+    # F-contiguous, which BLAS consumes directly in the following matmul.
+    windows = sliding_window_view(padded, (kernel, kernel), axis=(1, 2))
+    windows = windows[:, ::stride, ::stride]
+    cols = np.ascontiguousarray(windows.transpose(0, 3, 4, 1, 2)).reshape(
+        channels * kernel * kernel, out_h * out_w
+    )
+    return cols.T, out_h, out_w
+
+
+def _im2col_loop(x: np.ndarray, kernel: int, stride: int, pad: int) -> Tuple[np.ndarray, int, int]:
+    """Naive per-output-position loop reference for :func:`im2col`.
+
+    Kept (not exported) so the vectorization micro-benchmark can assert the
+    strided path matches this reference bit-for-bit; see
+    ``tests/test_functional.py``.
     """
     channels, height, width = x.shape
     padded = pad_spatial(x, pad)
@@ -165,9 +193,14 @@ def avg_pool2d(x: np.ndarray, kernel: int, stride: int = 0, pad: int = 0) -> np.
     return _pool2d(x, kernel, stride, np.mean, pad, fill=0.0)
 
 
-def _pool2d(
-    x: np.ndarray, kernel: int, stride: int, reducer, pad: int = 0, fill: float = 0.0
-) -> np.ndarray:
+def _pool2d_padded(
+    x: np.ndarray, kernel: int, stride: int, pad: int, fill: float
+) -> Tuple[np.ndarray, int, int, int]:
+    """Shared validation + padding of the pooling implementations.
+
+    Returns the (possibly padded) input, the output dimensions and the
+    normalised stride (``stride == 0`` means "same as kernel").
+    """
     stride = stride if stride > 0 else kernel
     if pad < 0:
         raise ValueError("pad must be non-negative")
@@ -189,6 +222,32 @@ def _pool2d(
     out_w = (width + 2 * pad - kernel) // stride + 1
     if out_h <= 0 or out_w <= 0:
         raise ValueError("pooling window does not fit the input")
+    return x, out_h, out_w, stride
+
+
+def _pool2d(
+    x: np.ndarray, kernel: int, stride: int, reducer, pad: int = 0, fill: float = 0.0
+) -> np.ndarray:
+    x, out_h, out_w, stride = _pool2d_padded(x, kernel, stride, pad, fill)
+    channels = x.shape[0]
+    # (C, out_h, out_w, k*k) strided view of every pooling window; the
+    # reduction runs over the window axis in the same element order as the
+    # per-position loop reference, so results match it bit-for-bit.
+    windows = sliding_window_view(x, (kernel, kernel), axis=(1, 2))
+    windows = windows[:, ::stride, ::stride].reshape(channels, out_h, out_w, -1)
+    return np.asarray(reducer(windows, axis=-1), dtype=float)
+
+
+def _pool2d_loop(
+    x: np.ndarray, kernel: int, stride: int, reducer, pad: int = 0, fill: float = 0.0
+) -> np.ndarray:
+    """Naive per-output-position loop reference for :func:`_pool2d`.
+
+    Kept (not exported) for the vectorization micro-benchmark; see
+    ``tests/test_functional.py``.
+    """
+    x, out_h, out_w, stride = _pool2d_padded(x, kernel, stride, pad, fill)
+    channels = x.shape[0]
     out = np.empty((channels, out_h, out_w), dtype=float)
     for i in range(out_h):
         for j in range(out_w):

@@ -55,6 +55,44 @@ def quantize_unsigned(x: np.ndarray, bits: int) -> QuantizedTensor:
     return QuantizedTensor(values=values, scale=scale, bits=bits, signed=False)
 
 
+@dataclass(frozen=True)
+class ChannelQuantizedTensor:
+    """An integer tensor with one scale per leading-axis slice.
+
+    Per-output-channel weight quantisation: each output channel maps onto
+    its own crossbar column(s), and the column read-out is dequantised
+    digitally, so every channel can use the full integer range regardless
+    of the other channels' dynamic range.
+    """
+
+    values: np.ndarray
+    scales: np.ndarray
+    bits: int
+
+    def dequantize(self) -> np.ndarray:
+        shape = (-1,) + (1,) * (self.values.ndim - 1)
+        return self.values.astype(np.float64) * self.scales.reshape(shape)
+
+    @property
+    def levels(self) -> int:
+        return 2 ** self.bits
+
+
+def quantize_symmetric_per_channel(x: np.ndarray, bits: int) -> ChannelQuantizedTensor:
+    """Symmetric signed quantisation with one scale per leading-axis slice."""
+    if bits < 2:
+        raise ValueError("symmetric quantisation needs at least 2 bits")
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim < 1:
+        raise ValueError("per-channel quantisation needs at least one axis")
+    qmax = 2 ** (bits - 1) - 1
+    max_abs = np.max(np.abs(x.reshape(x.shape[0], -1)), axis=1) if x.size else np.zeros(x.shape[0])
+    scales = np.where(max_abs > 0, max_abs / qmax, 1.0)
+    shape = (-1,) + (1,) * (x.ndim - 1)
+    values = np.clip(np.round(x / scales.reshape(shape)), -qmax, qmax).astype(np.int64)
+    return ChannelQuantizedTensor(values=values, scales=scales, bits=bits)
+
+
 def quantization_error(x: np.ndarray, bits: int, signed: bool = True) -> float:
     """Root-mean-square quantisation error (used in noise-budget tests)."""
     quant = quantize_symmetric(x, bits) if signed else quantize_unsigned(x, bits)

@@ -1,11 +1,34 @@
-"""Chip-level comparison simulator (``python -m repro.sim``).
+"""Simulator CLI (``python -m repro.sim``).
 
-Runs any model from :mod:`repro.nn.models` through the crossbar mapper and
-energy estimator and prints per-layer and total energy / latency / area for
-the TIMELY, PRIME-like and ISAAC-like configurations of
-:mod:`repro.energy.tables`.
+* ``estimate`` (default) — chip-level energy / latency / area comparison of
+  any zoo model on the TIMELY, PRIME-like and ISAAC-like configurations of
+  :mod:`repro.energy.tables`, optionally with cross-layer-pipelined latency
+  and ``--json`` output;
+* ``run`` — functional simulation through :mod:`repro.engine`, reporting
+  the end-to-end output error against the float reference;
+* ``bench`` — the tracked performance smoke, written to a JSON artifact.
 """
 
-from repro.sim.cli import build_parser, format_comparison, format_per_layer, main
+from repro.sim.cli import (
+    build_parser,
+    build_run_parser,
+    estimate_to_dict,
+    format_comparison,
+    format_per_layer,
+    main,
+    main_bench,
+    main_estimate,
+    main_run,
+)
 
-__all__ = ["main", "build_parser", "format_comparison", "format_per_layer"]
+__all__ = [
+    "main",
+    "main_estimate",
+    "main_run",
+    "main_bench",
+    "build_parser",
+    "build_run_parser",
+    "estimate_to_dict",
+    "format_comparison",
+    "format_per_layer",
+]

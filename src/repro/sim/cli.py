@@ -1,29 +1,56 @@
-"""Command-line interface of the comparison simulator."""
+"""Command-line interface of the simulator.
+
+Three subcommands share one :class:`repro.context.SimContext`:
+
+* ``estimate`` (the default when no subcommand is given, preserving the
+  historical ``python -m repro.sim --model ...`` invocation) — chip-level
+  energy / latency / area comparison across the TIMELY, PRIME-like and
+  ISAAC-like configurations, optionally with cross-layer-pipelined latency
+  and JSON output;
+* ``run`` — functional simulation: execute a model through its mapped
+  crossbars with the time-domain circuit chains and report the end-to-end
+  output error against the float reference;
+* ``bench`` — the tracked performance smoke: vgg_d estimation plus a cnn_1
+  engine run plus the im2col micro-benchmark, written to a JSON artifact.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional, Sequence
 
+from repro.circuits.noise import HardwareNoiseConfig
+from repro.context import ArchSpec, SimContext, accelerator_factories
 from repro.energy.estimator import NetworkEstimate, compare_accelerators
-from repro.energy.tables import (
-    default_configs,
-    isaac_like_config,
-    prime_like_config,
-    timely_config,
-)
-from repro.mapping.crossbar_mapping import CrossbarConfig
 from repro.nn.models import build_model, list_models
+from repro.nn.network import Network
 
-_CONFIG_FACTORIES = {
-    "timely": timely_config,
-    "prime": prime_like_config,
-    "isaac": isaac_like_config,
-}
+_SUBCOMMANDS = ("estimate", "run", "bench")
+
+
+def _add_arch_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rows", type=int, default=256, help="crossbar rows")
+    parser.add_argument("--cols", type=int, default=256, help="crossbar columns")
+    parser.add_argument("--cell-bits", type=int, default=4, help="bits per ReRAM cell")
+    parser.add_argument("--weight-bits", type=int, default=8, help="weight precision")
+    parser.add_argument("--input-bits", type=int, default=8, help="input precision")
+
+
+def _arch_from_args(args: argparse.Namespace) -> ArchSpec:
+    return ArchSpec(
+        rows=args.rows,
+        cols=args.cols,
+        cell_bits=args.cell_bits,
+        weight_bits=args.weight_bits,
+        input_bits=args.input_bits,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``estimate`` argument parser (kept for backwards compatibility)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.sim",
         description=(
@@ -41,11 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="timely,prime,isaac",
         help="comma-separated subset of: timely, prime, isaac",
     )
-    parser.add_argument("--rows", type=int, default=256, help="crossbar rows")
-    parser.add_argument("--cols", type=int, default=256, help="crossbar columns")
-    parser.add_argument("--cell-bits", type=int, default=4, help="bits per ReRAM cell")
-    parser.add_argument("--weight-bits", type=int, default=8, help="weight precision")
-    parser.add_argument("--input-bits", type=int, default=8, help="input precision")
+    _add_arch_arguments(parser)
+    parser.add_argument(
+        "--pipelined",
+        action="store_true",
+        help="also estimate single-image latency under cross-layer pipelining",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON document instead of tables"
+    )
     parser.add_argument(
         "--no-per-layer",
         action="store_true",
@@ -58,6 +89,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-models", action="store_true", help="list available models and exit"
     )
     return parser
+
+
+def build_run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim run",
+        description=(
+            "Functionally simulate a model: push activations through the "
+            "mapped crossbars via the time-domain circuit chains and report "
+            "the output error against the float numpy reference."
+        ),
+    )
+    parser.add_argument(
+        "--model",
+        default="cnn_1",
+        help="model name from the zoo (default: cnn_1; see estimate --list-models)",
+    )
+    _add_arch_arguments(parser)
+    parser.add_argument(
+        "--mode",
+        choices=("analog", "ideal"),
+        default="analog",
+        help="tile read-out: full time-domain chains or exact integer",
+    )
+    parser.add_argument(
+        "--noise",
+        type=float,
+        default=0.0,
+        metavar="SCALE",
+        help="noise severity: Section-V sigmas scaled by SCALE (0 = ideal)",
+    )
+    parser.add_argument(
+        "--noise-seed", type=int, default=0, help="seed of the noise draws"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for weights and the input image"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON document instead of a table"
+    )
+    return parser
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim bench",
+        description=(
+            "Performance smoke: time the vgg_d estimator, a cnn_1 engine run "
+            "and the im2col kernel, and write the numbers to a JSON artifact."
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_engine.json",
+        help="path of the JSON artifact (default: BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--estimator-model", default="vgg_d", help="model for the estimator timing"
+    )
+    parser.add_argument(
+        "--engine-model", default="cnn_1", help="model for the engine smoke"
+    )
+    return parser
+
+
+def _load_model(name: str) -> Network:
+    return build_model(name)
 
 
 def format_per_layer(estimate: NetworkEstimate) -> str:
@@ -89,24 +186,64 @@ def format_per_layer(estimate: NetworkEstimate) -> str:
 def format_comparison(estimates: Sequence[NetworkEstimate]) -> str:
     """Totals table comparing all estimated accelerator configurations."""
     reference = estimates[0]
+    pipelined = reference.pipelined_latency_ns is not None
     lines = [f"Comparison — {reference.model}"]
     header = (
-        f"{'accelerator':<12} {'energy/uJ':>11} {'latency/ms':>11} {'area/mm2':>9} "
-        f"{'TOPS/W':>9} {'GOPS':>9} {'eff. vs ' + reference.accelerator:>14}"
+        f"{'accelerator':<12} {'energy/uJ':>11} {'latency/ms':>11} "
+        + (f"{'pipe/ms':>9} " if pipelined else "")
+        + f"{'area/mm2':>9} {'TOPS/W':>9} {'GOPS':>9} "
+        f"{'eff. vs ' + reference.accelerator:>14}"
     )
     lines.append(header)
     lines.append("-" * len(header))
     for est in estimates:
         ratio = est.tops_per_watt / reference.tops_per_watt
+        pipe = (
+            f"{est.pipelined_latency_ns / 1e6:>9.3f} " if pipelined else ""
+        )
         lines.append(
             f"{est.accelerator:<12} {est.total_energy_pj / 1e6:>11.3f} "
-            f"{est.total_latency_ns / 1e6:>11.3f} {est.area_mm2:>9.2f} "
+            f"{est.total_latency_ns / 1e6:>11.3f} "
+            + pipe
+            + f"{est.area_mm2:>9.2f} "
             f"{est.tops_per_watt:>9.3f} {est.gops:>9.1f} {ratio:>13.3f}x"
         )
     return "\n".join(lines)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def estimate_to_dict(estimate: NetworkEstimate, per_layer: bool = True) -> dict:
+    """JSON-serialisable view of one :class:`NetworkEstimate`."""
+    doc = {
+        "accelerator": estimate.accelerator,
+        "energy_uj": estimate.total_energy_pj / 1e6,
+        "latency_ms": estimate.total_latency_ns / 1e6,
+        "pipelined_latency_ms": (
+            estimate.pipelined_latency_ns / 1e6
+            if estimate.pipelined_latency_ns is not None
+            else None
+        ),
+        "area_mm2": estimate.area_mm2,
+        "tops_per_watt": estimate.tops_per_watt,
+        "gops": estimate.gops,
+        "pipelined_gops": estimate.pipelined_gops,
+        "crossbars": estimate.total_crossbars,
+    }
+    if per_layer:
+        doc["layers"] = [
+            {
+                "name": layer.name,
+                "kind": layer.kind,
+                "crossbars": layer.crossbars,
+                "utilization": layer.utilization,
+                "energy_pj": layer.energy_pj,
+                "latency_ns": layer.latency_ns,
+            }
+            for layer in estimate.layers
+        ]
+    return doc
+
+
+def main_estimate(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_models:
@@ -114,41 +251,232 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     try:
-        network = build_model(args.model)
+        network = _load_model(args.model)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
 
     try:
-        config = CrossbarConfig(
-            rows=args.rows,
-            cols=args.cols,
-            cell_bits=args.cell_bits,
-            weight_bits=args.weight_bits,
-            input_bits=args.input_bits,
-        )
+        config = _arch_from_args(args)
     except ValueError as exc:
         print(f"invalid crossbar configuration: {exc}", file=sys.stderr)
         return 2
+    factories = accelerator_factories()
     names = [name.strip().lower() for name in args.configs.split(",") if name.strip()]
-    unknown = [name for name in names if name not in _CONFIG_FACTORIES]
+    unknown = [name for name in names if name not in factories]
     if unknown or not names:
         print(
             f"unknown configs {', '.join(unknown) or '(none)'}; "
-            f"choose from: {', '.join(_CONFIG_FACTORIES)}",
+            f"choose from: {', '.join(factories)}",
             file=sys.stderr,
         )
         return 2
-    specs = [_CONFIG_FACTORIES[name](config) for name in names]
+    specs = [factories[name](config) for name in names]
+
+    estimates: List[NetworkEstimate] = compare_accelerators(
+        network, specs, config, pipelined=args.pipelined
+    )
+
+    if args.json:
+        doc = {
+            "model": args.model,
+            "config": {
+                "rows": config.rows,
+                "cols": config.cols,
+                "cell_bits": config.cell_bits,
+                "weight_bits": config.weight_bits,
+                "input_bits": config.input_bits,
+            },
+            "pipelined": args.pipelined,
+            "estimates": [
+                estimate_to_dict(est, per_layer=not args.no_per_layer)
+                for est in estimates
+            ],
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
 
     if args.summary:
         print(network.summary())
         print()
-
-    estimates: List[NetworkEstimate] = compare_accelerators(network, specs, config)
     if not args.no_per_layer:
         for estimate in estimates:
             print(format_per_layer(estimate))
             print()
     print(format_comparison(estimates))
     return 0
+
+
+def main_run(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_run_parser().parse_args(argv)
+
+    try:
+        network = _load_model(args.model)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    try:
+        arch = _arch_from_args(args)
+        if args.noise < 0:
+            raise ValueError("--noise scale must be non-negative")
+        noise = (
+            HardwareNoiseConfig.scaled(args.noise, seed=args.noise_seed)
+            if args.noise > 0
+            else None
+        )
+    except ValueError as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+
+    # import here so `estimate` stays importable without the engine package
+    from repro.engine import EngineError, NetworkExecutor
+
+    ctx = SimContext(arch=arch, noise=noise, seed=args.seed)
+    start = time.perf_counter()
+    try:
+        executor = NetworkExecutor(network, ctx, mode=args.mode)
+        result = executor.run()
+    except EngineError as exc:
+        print(f"engine cannot run {args.model!r}: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+
+    if args.json:
+        doc = {
+            "model": args.model,
+            "mode": args.mode,
+            "noise_scale": args.noise,
+            "seed": args.seed,
+            "crossbars": executor.crossbars,
+            "rel_error": result.rel_error,
+            "elapsed_s": elapsed,
+            "layers": [
+                {
+                    "name": trace.name,
+                    "kind": trace.kind,
+                    "crossbars": trace.crossbars,
+                    "rel_error": trace.rel_error,
+                }
+                for trace in result.traces
+            ],
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
+
+    print(
+        f"Engine run — {args.model} ({args.mode}, "
+        f"noise x{args.noise:g}, seed {args.seed})"
+    )
+    header = f"{'layer':<22} {'kind':<8} {'xbars':>6} {'rel. error':>12}"
+    print(header)
+    print("-" * len(header))
+    for trace in result.traces:
+        print(
+            f"{trace.name:<22} {trace.kind:<8} {trace.crossbars:>6} "
+            f"{trace.rel_error:>12.3e}"
+        )
+    print("-" * len(header))
+    print(
+        f"output rel. error vs float reference: {result.rel_error:.3e}  "
+        f"({executor.crossbars} crossbars, {elapsed:.2f}s)"
+    )
+    return 0
+
+
+def main_bench(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_bench_parser().parse_args(argv)
+
+    import numpy as np
+
+    from repro.engine import NetworkExecutor
+    from repro.nn import functional as F
+
+    try:
+        estimator_net = _load_model(args.estimator_model)
+        engine_net = _load_model(args.engine_model)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    # 1. analytic estimator over the three paper configurations
+    start = time.perf_counter()
+    estimates = compare_accelerators(estimator_net, pipelined=True)
+    estimator_elapsed = time.perf_counter() - start
+
+    # 2. functional-engine smoke
+    ctx = SimContext()
+    start = time.perf_counter()
+    executor = NetworkExecutor(engine_net, ctx, mode="analog")
+    result = executor.run()
+    engine_elapsed = time.perf_counter() - start
+
+    # 3. im2col kernel micro-benchmark (vgg_d conv1_1 geometry), best of 3
+    x = np.random.default_rng(0).normal(size=(3, 224, 224))
+
+    def best_of(func, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            func(x, 3, 1, 1)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    loop_elapsed = best_of(F._im2col_loop)
+    vectorized_elapsed = best_of(F.im2col)
+
+    doc = {
+        "estimator": {
+            "model": args.estimator_model,
+            "elapsed_s": estimator_elapsed,
+            "accelerators": [
+                {
+                    "name": est.accelerator,
+                    "tops_per_watt": est.tops_per_watt,
+                    "gops": est.gops,
+                    "pipelined_gops": est.pipelined_gops,
+                }
+                for est in estimates
+            ],
+        },
+        "engine": {
+            "model": args.engine_model,
+            "mode": "analog",
+            "elapsed_s": engine_elapsed,
+            "rel_error": result.rel_error,
+            "crossbars": executor.crossbars,
+        },
+        "im2col": {
+            "loop_s": loop_elapsed,
+            "vectorized_s": vectorized_elapsed,
+            "speedup": loop_elapsed / vectorized_elapsed,
+        },
+    }
+    with open(args.output, "w") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    print(
+        f"  estimator ({args.estimator_model}): {estimator_elapsed:.2f}s, "
+        f"TIMELY {estimates[0].tops_per_watt:.1f} TOPS/W"
+    )
+    print(
+        f"  engine ({args.engine_model}): {engine_elapsed:.2f}s, "
+        f"rel error {result.rel_error:.2e}"
+    )
+    print(f"  im2col: {doc['im2col']['speedup']:.0f}x vs loop")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        command, rest = argv[0], argv[1:]
+    else:
+        # historical invocation: bare flags mean `estimate`
+        command, rest = "estimate", argv
+    if command == "run":
+        return main_run(rest)
+    if command == "bench":
+        return main_bench(rest)
+    return main_estimate(rest)

@@ -1,0 +1,171 @@
+"""CLI tests: subcommand dispatch, argument parsing, JSON schemas and exit
+codes of ``python -m repro.sim`` (estimate / run / bench)."""
+
+import json
+
+import pytest
+
+from repro.sim import cli
+
+
+# ---------------------------------------------------------------------------
+# estimate: dispatch, exit codes, back-compat
+# ---------------------------------------------------------------------------
+
+def test_bare_flags_dispatch_to_estimate(capsys):
+    """The historical `python -m repro.sim --model ...` invocation still works."""
+    assert cli.main(["--model", "cnn_1", "--no-per-layer"]) == 0
+    out = capsys.readouterr().out
+    assert "Comparison — cnn_1" in out
+    assert "TIMELY" in out and "PRIME-like" in out and "ISAAC-like" in out
+
+
+def test_estimate_subcommand_dispatch(capsys):
+    assert cli.main(["estimate", "--model", "cnn_1", "--no-per-layer"]) == 0
+    assert "Comparison — cnn_1" in capsys.readouterr().out
+
+
+def test_unknown_model_exits_2_with_message(capsys):
+    assert cli.main(["--model", "not_a_model"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown model" in err and "not_a_model" in err
+
+
+def test_unknown_configs_exit_2_with_message(capsys):
+    assert cli.main(["--model", "cnn_1", "--configs", "timely,bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "bogus" in err and "choose from" in err
+
+
+def test_empty_configs_exit_2(capsys):
+    assert cli.main(["--model", "cnn_1", "--configs", " , "]) == 2
+    assert "choose from" in capsys.readouterr().err
+
+
+def test_invalid_crossbar_geometry_exits_2(capsys):
+    assert cli.main(["--model", "cnn_1", "--rows", "0"]) == 2
+    assert "invalid" in capsys.readouterr().err
+
+
+def test_list_models_exits_0(capsys):
+    assert cli.main(["--list-models"]) == 0
+    out = capsys.readouterr().out
+    assert "cnn_1" in out and "vgg_d" in out
+
+
+# ---------------------------------------------------------------------------
+# estimate --json schema
+# ---------------------------------------------------------------------------
+
+def test_estimate_json_schema(capsys):
+    assert cli.main(
+        ["estimate", "--model", "cnn_1", "--json", "--pipelined", "--configs", "timely,prime"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["model"] == "cnn_1"
+    assert doc["pipelined"] is True
+    assert doc["config"]["rows"] == 256
+    assert [e["accelerator"] for e in doc["estimates"]] == ["TIMELY", "PRIME-like"]
+    for est in doc["estimates"]:
+        for key in (
+            "energy_uj",
+            "latency_ms",
+            "pipelined_latency_ms",
+            "area_mm2",
+            "tops_per_watt",
+            "gops",
+            "pipelined_gops",
+            "crossbars",
+            "layers",
+        ):
+            assert key in est
+        assert est["pipelined_latency_ms"] <= est["latency_ms"]
+        assert est["layers"][0].keys() >= {"name", "kind", "crossbars", "energy_pj"}
+
+
+def test_estimate_json_no_per_layer_omits_layers(capsys):
+    assert cli.main(["estimate", "--model", "cnn_1", "--json", "--no-per-layer"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert all("layers" not in est for est in doc["estimates"])
+
+
+# ---------------------------------------------------------------------------
+# run
+# ---------------------------------------------------------------------------
+
+def test_run_json_schema(capsys):
+    assert cli.main(["run", "--model", "tiny_cnn", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["model"] == "tiny_cnn"
+    assert doc["mode"] == "analog"
+    assert doc["noise_scale"] == 0.0
+    assert doc["crossbars"] > 0
+    assert 0.0 <= doc["rel_error"] < 0.1
+    assert {trace["kind"] for trace in doc["layers"]} >= {"conv", "fc"}
+    for trace in doc["layers"]:
+        assert trace.keys() >= {"name", "kind", "crossbars", "rel_error"}
+
+
+def test_run_table_output(capsys):
+    assert cli.main(["run", "--model", "tiny_mlp", "--mode", "ideal"]) == 0
+    out = capsys.readouterr().out
+    assert "Engine run — tiny_mlp" in out
+    assert "rel. error vs float reference" in out
+
+
+def test_run_with_noise_reports_higher_error(capsys):
+    assert cli.main(["run", "--model", "tiny_mlp", "--json"]) == 0
+    clean = json.loads(capsys.readouterr().out)
+    assert cli.main(
+        ["run", "--model", "tiny_mlp", "--json", "--noise", "1.0", "--noise-seed", "3"]
+    ) == 0
+    noisy = json.loads(capsys.readouterr().out)
+    assert noisy["rel_error"] > clean["rel_error"]
+
+
+def test_run_unknown_model_exits_2(capsys):
+    assert cli.main(["run", "--model", "nope"]) == 2
+    assert "unknown model" in capsys.readouterr().err
+
+
+def test_run_branching_model_exits_2_with_engine_message(capsys):
+    assert cli.main(["run", "--model", "resnet_18"]) == 2
+    err = capsys.readouterr().err
+    assert "engine cannot run" in err
+
+
+def test_run_negative_noise_exits_2(capsys):
+    assert cli.main(["run", "--model", "tiny_mlp", "--noise", "-1"]) == 2
+    assert "invalid configuration" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# bench
+# ---------------------------------------------------------------------------
+
+def test_bench_writes_artifact(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_engine.json"
+    assert cli.main(
+        [
+            "bench",
+            "--output",
+            str(out_path),
+            "--estimator-model",
+            "cnn_1",
+            "--engine-model",
+            "tiny_cnn",
+        ]
+    ) == 0
+    doc = json.loads(out_path.read_text())
+    assert doc["estimator"]["model"] == "cnn_1"
+    assert len(doc["estimator"]["accelerators"]) == 3
+    assert doc["estimator"]["accelerators"][0]["tops_per_watt"] > 0
+    assert doc["engine"]["model"] == "tiny_cnn"
+    assert doc["engine"]["elapsed_s"] > 0
+    assert doc["engine"]["rel_error"] < 0.1
+    assert doc["im2col"]["speedup"] > 1.0
+
+
+def test_bench_unknown_model_exits_2(tmp_path, capsys):
+    assert cli.main(["bench", "--output", str(tmp_path / "b.json"), "--engine-model", "x"]) == 2
+    assert "unknown model" in capsys.readouterr().err
