@@ -141,7 +141,28 @@ class HardwareNoiseConfig:
         self._rng = np.random.default_rng(seed)
 
     def sample(self, sigma: float, shape=None) -> np.ndarray:
-        """Draw zero-mean Gaussian samples with the given sigma."""
+        """Draw zero-mean Gaussian samples with the given sigma.
+
+        ``shape`` may be any array shape, so one call can cover a whole
+        packed conductance tensor or a full batch of input delays; the
+        vectorized engine paths rely on this to draw per-layer (rather than
+        per-tile) without falling back to Python loops.
+        """
         if sigma == 0.0:
             return np.zeros(shape) if shape is not None else np.array(0.0)
         return self._rng.normal(0.0, sigma, size=shape)
+
+    def apply_conductance_variation(self, conductances: np.ndarray) -> np.ndarray:
+        """Multiplicative programming variation on a conductance tensor.
+
+        One Gaussian draw of the full tensor shape, applied as
+        ``G * (1 + eps)`` and clipped at zero — shared by the per-tile
+        :meth:`repro.circuits.reram.ReRAMCrossbar.program` path and the
+        packed per-slice tensors of :class:`repro.engine.packed.PackedMatmul`
+        so both backends model the same physics (the draws themselves differ
+        because the tensor shapes do; see the engine docs).
+        """
+        if self.reram_conductance_sigma <= 0:
+            return conductances
+        variation = self.sample(self.reram_conductance_sigma, conductances.shape)
+        return np.clip(conductances * (1.0 + variation), 0.0, None)

@@ -125,12 +125,8 @@ class ReRAMCrossbar:
         full[: values.shape[0], : values.shape[1]] = values
         self._weights = full
         conductances = self.cell.weight_to_conductance(full)
-        if self.noise is not None and self.noise.reram_conductance_sigma > 0:
-            variation = self.noise.sample(
-                self.noise.reram_conductance_sigma, conductances.shape
-            )
-            conductances = conductances * (1.0 + variation)
-            conductances = np.clip(conductances, 0.0, None)
+        if self.noise is not None:
+            conductances = self.noise.apply_conductance_variation(conductances)
         self._conductances = conductances
 
     def _check_rows(self, values: np.ndarray, what: str) -> None:
@@ -155,18 +151,27 @@ class ReRAMCrossbar:
         return voltages @ self._conductances
 
     # -- time-mode operation (TIMELY style) --------------------------------------
-    def column_charges(self, row_times: np.ndarray, v_dd: float = 1.2) -> np.ndarray:
+    def column_charges(
+        self, row_times: np.ndarray, v_dd: float = 1.2, validate: bool = True
+    ) -> np.ndarray:
         """Column charges when rows are driven for ``row_times`` seconds at V_DD.
 
         Each cell conducts ``V_DD * G_ij`` for ``T_i`` seconds, contributing a
         charge ``V_DD * G_ij * T_i``; charges sum along the column.  This is
         the phase-I charging of the two-phase scheme in Section IV-C.
         ``row_times`` may be ``(rows,)`` or ``(batch, rows)``.
+
+        ``validate=False`` skips the shape and non-negativity scan of the
+        inputs.  Callers that already guarantee both — the time-domain chains
+        feed in DTC outputs, which are clipped to ``[0, full_scale]`` by
+        construction — use it to avoid re-scanning the whole batch once per
+        tile in the engine's hot loop.
         """
         times = np.asarray(row_times, dtype=float)
-        self._check_rows(times, "row times")
-        if np.any(times < 0):
-            raise ValueError("row times must be non-negative")
+        if validate:
+            self._check_rows(times, "row times")
+            if np.any(times < 0):
+                raise ValueError("row times must be non-negative")
         return v_dd * (times @ self._conductances)
 
     # -- ideal reference -----------------------------------------------------------

@@ -25,6 +25,13 @@ Section IV-C.
 
 All inputs may be a single ``(rows,)`` code vector or a ``(batch, rows)``
 matrix; the batched path runs one matmul per crossbar.
+
+:class:`TimeDomainChainSpec` factors the chain's scalar parameters (full
+scale charge, capacitor sizing, phase-II current, LSB) out of the per-tile
+objects: within one layer every tile's chain shares them, so the packed
+execution backend (:class:`repro.engine.packed.PackedMatmul`) can run the
+whole elementwise phase-I/II read-out as one vectorized pass over every
+tile, slice and output position at once via :meth:`TimeDomainChainSpec.read_out`.
 """
 
 from __future__ import annotations
@@ -41,6 +48,91 @@ from repro.circuits.converters import DTC
 from repro.circuits.noise import HardwareNoiseConfig
 from repro.circuits.reram import ReRAMCellSpec, ReRAMCrossbar
 from repro.nn.quantization import split_msb_lsb
+
+
+class TimeDomainChainSpec:
+    """Scalar parameters of one two-phase time-domain read-out chain.
+
+    These are the quantities :class:`TimeDomainDotProduct` derives from its
+    crossbar, DTC and comparator — the full-scale phase-I charge, the
+    capacitor sized for it, the phase-II constant current and the output
+    LSB.  They depend only on the cell physics, the converter resolution and
+    the (full) tile height, so within one mapped layer every tile's chain
+    shares the same spec.  That is what lets the packed execution backend
+    apply the whole elementwise chain — offset subtraction, clip, phase-I
+    integration, phase-II threshold crossing, LSB rescale — in one
+    vectorized :meth:`read_out` pass over a stacked charge tensor covering
+    every tile, slice, batch position and output column of a layer.
+    """
+
+    def __init__(
+        self,
+        cell: ReRAMCellSpec,
+        dtc: DTC,
+        rows: int,
+        v_dd: float = 1.2,
+        v_threshold: Optional[float] = None,
+    ):
+        if rows <= 0:
+            raise ValueError("rows must be positive")
+        self.cell = cell
+        self.dtc = dtc
+        self.rows = rows
+        self.v_dd = v_dd
+        self.v_threshold = (
+            v_threshold if v_threshold is not None else Comparator().v_threshold
+        )
+        # Full-scale net charge: every input at the max code, every cell at
+        # the max weight level (offset column already subtracted).
+        self.q_full = (
+            v_dd * cell.g_step_s * (cell.levels - 1) * dtc.full_scale_s * rows
+        )
+        # Capacitor sized so v1 <= v_threshold over the whole dynamic range,
+        # phase-II current sized so the full-scale crossing time equals the
+        # input full scale (keeps phase II on the same time axis).
+        self.capacitance_f = self.q_full / self.v_threshold
+        self.phase2_current_a = self.q_full / dtc.full_scale_s
+        #: largest dot product the chain represents without clipping
+        self.dot_max = float((dtc.levels - 1) * (cell.levels - 1) * rows)
+        #: output time per integer dot-product unit
+        self.lsb_s = dtc.full_scale_s / self.dot_max
+
+    @classmethod
+    def from_context(cls, ctx: "SimContext") -> "TimeDomainChainSpec":
+        """The chain spec of a full-height tile in ``ctx``'s architecture."""
+        return cls(
+            cell=ctx.arch.cell_spec(),
+            dtc=ctx.arch.dtc(),
+            rows=ctx.arch.rows,
+            v_dd=ctx.arch.v_dd,
+        )
+
+    def read_out(self, charges: np.ndarray, delay_sums: np.ndarray) -> np.ndarray:
+        """Vectorized phase-I/II read-out of raw column charges.
+
+        ``charges`` holds phase-I column charges (coulombs) of any shape;
+        ``delay_sums`` holds the per-chain sums of the input delays (seconds)
+        and must broadcast against ``charges``.  Applies, elementwise and in
+        the same order as :meth:`TimeDomainDotProduct.output_times`: the
+        G_min reference-column subtraction, the zero clip, the phase-I
+        capacitor voltage, the phase-II threshold-crossing time and the
+        LSB rescale.  Returns dot-product estimates in integer
+        (input-level x weight-level) units.
+
+        The arithmetic runs in place on one working array (a single
+        allocation regardless of how many tiles the stack covers); the
+        inputs are left untouched.
+        """
+        offset = (self.v_dd * self.cell.g_min_s) * delay_sums
+        net = charges - offset
+        np.clip(net, 0.0, None, out=net)
+        net /= self.capacitance_f  # phase-I capacitor voltage
+        np.subtract(self.v_threshold, net, out=net)
+        np.clip(net, 0.0, None, out=net)
+        net *= self.capacitance_f / self.phase2_current_a  # phase-II time
+        np.subtract(self.dtc.full_scale_s, net, out=net)
+        net /= self.lsb_s
+        return net
 
 
 class TimeDomainDotProduct:
@@ -84,37 +176,29 @@ class TimeDomainDotProduct:
         self.cascade_hops = cascade_hops
         self.v_dd = v_dd
 
-        cell = crossbar.cell
-        # Full-scale net charge: every input at the max code, every cell at the
-        # max weight level (offset column already subtracted).
-        q_full = (
-            v_dd
-            * cell.g_step_s
-            * (cell.levels - 1)
-            * self.dtc.full_scale_s
-            * crossbar.rows
+        # The scalar chain parameters (full-scale charge, capacitor sizing,
+        # phase-II current, LSB) live in the shared spec so the packed
+        # backend prices exactly the same chain.
+        self.spec = TimeDomainChainSpec(
+            cell=crossbar.cell,
+            dtc=self.dtc,
+            rows=crossbar.rows,
+            v_dd=v_dd,
+            v_threshold=self.comparator.v_threshold,
         )
         base = charging_unit or ChargingUnit()
-        threshold = self.comparator.v_threshold
-        # Resize the capacitor so v1 <= v_threshold over the whole dynamic range.
         self.charging_unit = ChargingUnit(
-            capacitance_f=q_full / threshold,
+            capacitance_f=self.spec.capacitance_f,
             v_dd=v_dd,
             energy_fj=base.energy_fj,
             area_um2=base.area_um2,
         )
-        # Phase-II current sized so the full-scale threshold-crossing time
-        # equals the input full scale (keeps phase II on the same time axis).
-        self.phase2_current_a = q_full / self.dtc.full_scale_s
+        self.phase2_current_a = self.spec.phase2_current_a
 
     @property
     def dot_max(self) -> float:
         """Largest dot product the chain can represent without clipping."""
-        return float(
-            (self.dtc.levels - 1)
-            * (self.crossbar.cell.levels - 1)
-            * self.crossbar.rows
-        )
+        return self.spec.dot_max
 
     def output_times(
         self, codes: np.ndarray, noise: Optional[HardwareNoiseConfig] = None
@@ -124,7 +208,9 @@ class TimeDomainDotProduct:
         delays = self.x_subbuf.cascade(delays, self.cascade_hops, noise)
         delays = np.atleast_1d(np.asarray(delays, dtype=float))
 
-        charges = self.crossbar.column_charges(delays, self.v_dd)
+        # DTC outputs are clipped to [0, full_scale] by construction, so the
+        # per-call non-negativity scan of the crossbar can be skipped here.
+        charges = self.crossbar.column_charges(delays, self.v_dd, validate=False)
         # Reference column of G_min cells cancels the "off"-level offset.
         offset = (
             self.v_dd
@@ -195,11 +281,15 @@ class SubRangingDotProduct:
 
         The cell, converter and supply parameters all come from ``ctx.arch``
         and the programming noise from ``ctx.noise``, so the functional
-        engine and the analytics price exactly the same hardware.
+        engine and the analytics price exactly the same hardware.  The
+        crossbar pair is sized at the weight block's true height (a partial
+        row tile occupies only the rows it needs), so input codes can be
+        sliced instead of zero-padded to the full tile height.
         """
+        weights = np.asarray(weights)
         return cls(
             weights,
-            rows=ctx.arch.rows,
+            rows=ctx.arch.tile_height(weights.shape[0]),
             cols=ctx.arch.cols,
             cell=ctx.arch.cell_spec(),
             noise=ctx.noise,

@@ -93,6 +93,14 @@ class ArchSpec:
         """Full-precision weights held by the columns of one physical tile."""
         return self.cols // self.cols_per_weight
 
+    def tile_height(self, rows_needed: int) -> int:
+        """Rows a (possibly partial) tile actually occupies.
+
+        The single sizing rule for partial row tiles, shared by every
+        crossbar construction site so the engine backends cannot diverge.
+        """
+        return min(int(rows_needed), self.rows)
+
     # -- circuit-model factories ----------------------------------------------
     def cell_spec(self) -> "ReRAMCellSpec":
         """The ReRAM cell description implied by this architecture."""
@@ -116,15 +124,32 @@ class ArchSpec:
 
         return TDC(resolution=self.input_bits, t_del_s=self.t_del_s)
 
-    def make_crossbar(self, noise: Optional["HardwareNoiseConfig"] = None) -> "ReRAMCrossbar":
-        """A blank physical crossbar of this geometry."""
+    def make_crossbar(
+        self,
+        noise: Optional["HardwareNoiseConfig"] = None,
+        rows: Optional[int] = None,
+    ) -> "ReRAMCrossbar":
+        """A blank physical crossbar of this geometry.
+
+        ``rows`` overrides (and is capped at) the architecture's tile
+        height — partial row tiles are sized at the rows they actually
+        occupy, which is the one sizing rule both engine backends share.
+        """
         from repro.circuits.reram import ReRAMCrossbar
 
-        return ReRAMCrossbar(self.rows, self.cols, self.cell_spec(), noise)
+        height = self.rows if rows is None else self.tile_height(rows)
+        return ReRAMCrossbar(height, self.cols, self.cell_spec(), noise)
 
 
 #: Names accepted by :meth:`SimContext.accelerator_spec` / the CLI.
 ACCELERATOR_STYLES = ("timely", "prime", "isaac")
+
+#: Functional-engine execution backends: ``"packed"`` runs each layer as
+#: per-slice contiguous tensors with one batched matmul per row-tile slice
+#: and a fully vectorized time-domain chain (the fast default);
+#: ``"tiled"`` is the legacy per-crossbar-object loop kept as the
+#: correctness reference.
+ENGINE_BACKENDS = ("packed", "tiled")
 
 
 def accelerator_factories() -> dict:
@@ -150,19 +175,27 @@ class SimContext:
     chains of the functional engine (``None`` = ideal hardware); ``seed``
     drives every deterministic draw (weight initialisation, input
     generation), so two contexts with equal fields reproduce each other
-    exactly.
+    exactly; ``backend`` selects the functional-engine execution backend
+    (see :data:`ENGINE_BACKENDS` — noiseless, both produce the same numbers
+    to float tolerance, the packed one just gets there much faster).
     """
 
     arch: ArchSpec = field(default_factory=ArchSpec)
     accelerator: str = "timely"
     noise: Optional["HardwareNoiseConfig"] = None
     seed: int = 0
+    backend: str = ENGINE_BACKENDS[0]
 
     def __post_init__(self) -> None:
         if self.accelerator not in ACCELERATOR_STYLES:
             raise ValueError(
                 f"unknown accelerator {self.accelerator!r}; "
                 f"choose from: {', '.join(ACCELERATOR_STYLES)}"
+            )
+        if self.backend not in ENGINE_BACKENDS:
+            raise ValueError(
+                f"unknown engine backend {self.backend!r}; "
+                f"choose from: {', '.join(ENGINE_BACKENDS)}"
             )
 
     # -- derived objects -------------------------------------------------------

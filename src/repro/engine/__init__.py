@@ -9,10 +9,14 @@ pipeline and the ``run`` subcommand of ``python -m repro.sim`` for the CLI.
 
 * :mod:`repro.engine.params` — deterministic weight/bias generation,
 * :mod:`repro.engine.reference` — the exact float forward pass,
-* :mod:`repro.engine.tiles` — tile-level programming and batched read-out,
+* :mod:`repro.engine.tiles` — legacy per-tile programming and read-out,
+* :mod:`repro.engine.packed` — packed per-slice vectorized execution
+  (the default backend; one batched matmul per layer slice),
 * :mod:`repro.engine.executor` — the whole-network orchestrator.
 
-All of it is driven by one :class:`repro.context.SimContext`.
+All of it is driven by one :class:`repro.context.SimContext`; the
+``backend`` field (or the executor's ``backend`` argument) selects between
+the packed and tiled execution paths.
 """
 
 from repro.engine.errors import EngineError
@@ -23,6 +27,7 @@ from repro.engine.executor import (
     relative_error,
     run_network,
 )
+from repro.engine.packed import PackedMatmul
 from repro.engine.params import LayerParams, NetworkParams
 from repro.engine.reference import reference_forward, validate_sequential
 from repro.engine.tiles import TiledMatmul
@@ -36,6 +41,7 @@ __all__ = [
     "relative_error",
     "LayerParams",
     "NetworkParams",
+    "PackedMatmul",
     "reference_forward",
     "validate_sequential",
     "TiledMatmul",

@@ -8,20 +8,27 @@ counts them, and pushes real activations through the
 :mod:`repro.circuits.timing` time-domain chains:
 
 1. per-layer weight programming — symmetric ``weight_bits`` quantisation,
-   offset encoding and the MSB/LSB split onto tile pairs,
+   offset encoding and the bit-cell slice split (packed per-slice tensors
+   by default, legacy per-tile crossbar objects with ``backend="tiled"``),
 2. im2col slicing of the (unsigned-quantised) input activations,
-3. tile-level time-domain dot products, batched over input columns, with
-   optional :mod:`repro.circuits.noise` injection,
+3. time-domain dot products batched over input columns *and* over the
+   images of a batch, with optional :mod:`repro.circuits.noise` injection,
 4. partial-sum recombination across row tiles, digital offset removal,
    dequantisation and bias addition,
 5. auxiliary layers (ReLU, pooling, batch-norm, flatten, GAP) applied with
    the same :mod:`repro.nn.functional` kernels as the float reference.
 
-Every run is validated against the pure-numpy reference
+Inputs may be a single ``(C, H, W)`` image or a first-class ``(N, C, H, W)``
+batch; activations are quantised per image (so a batched run produces
+exactly the codes of ``N`` single-image runs) while every matmul amortises
+over the whole batch.
+
+A run is validated against the pure-numpy reference
 (:func:`repro.engine.reference.reference_forward`) with identical
 parameters; the per-layer relative errors quantify what quantisation and
 the analog chains cost in accuracy — the paper's core claim is that with
-noise disabled this error stays at the quantisation floor.
+noise disabled this error stays at the quantisation floor.  Throughput
+runs can skip the float double-compute with ``run(validate=False)``.
 """
 
 from __future__ import annotations
@@ -31,8 +38,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.context import SimContext
+from repro.context import ENGINE_BACKENDS, SimContext
 from repro.engine.errors import EngineError
+from repro.engine.packed import PackedMatmul
 from repro.engine.params import NetworkParams
 from repro.engine.reference import (
     apply_aux_layer,
@@ -43,9 +51,12 @@ from repro.engine.reference import (
 )
 from repro.engine.tiles import MODES, TiledMatmul
 from repro.nn import functional as F
-from repro.nn.layers import Conv2D, FullyConnected
+from repro.nn.layers import Conv2D, FullyConnected, Pool2D, _resolve_padding
 from repro.nn.network import LayerInstance, Network
-from repro.nn.quantization import quantize_symmetric_per_channel, quantize_unsigned
+from repro.nn.quantization import (
+    quantize_symmetric_per_channel,
+    quantize_unsigned_batch,
+)
 
 
 def relative_error(estimate: np.ndarray, reference: np.ndarray) -> float:
@@ -58,7 +69,10 @@ def relative_error(estimate: np.ndarray, reference: np.ndarray) -> float:
 
 @dataclass(frozen=True)
 class LayerTrace:
-    """Per-layer record of one engine run."""
+    """Per-layer record of one engine run.
+
+    ``rel_error`` is NaN when the run skipped validation.
+    """
 
     name: str
     kind: str
@@ -68,28 +82,78 @@ class LayerTrace:
 
 @dataclass(frozen=True)
 class ExecutionResult:
-    """Outcome of one engine run, with its float-reference comparison."""
+    """Outcome of one engine run, with its float-reference comparison.
+
+    ``output`` (and ``reference``, when validation ran) carry a leading
+    batch axis exactly when the input did; ``reference`` is ``None`` for
+    ``validate=False`` runs.
+    """
 
     model: str
     mode: str
+    backend: str
     output: np.ndarray
-    reference: np.ndarray
+    reference: Optional[np.ndarray] = None
     traces: List[LayerTrace] = field(default_factory=list)
 
     @property
     def rel_error(self) -> float:
-        """L2 relative error of the final output against the reference."""
+        """L2 relative error of the final output against the reference.
+
+        NaN when the run skipped validation (no reference was computed).
+        """
+        if self.reference is None:
+            return float("nan")
         return relative_error(self.output, self.reference)
 
     def trace_by_name(self) -> Dict[str, LayerTrace]:
         return {trace.name: trace for trace in self.traces}
 
 
-class _MappedComputeLayer:
-    """One conv/FC layer programmed onto crossbar tiles (all groups)."""
+def _apply_aux_batched(
+    inst: LayerInstance, acts: np.ndarray, params: NetworkParams
+) -> np.ndarray:
+    """Batched counterpart of :func:`repro.engine.reference.apply_aux_layer`.
 
-    def __init__(self, inst: LayerInstance, params: NetworkParams, ctx: SimContext, mode: str):
+    Applies the same :mod:`repro.nn.functional` kernels over a whole
+    ``(N, ...)`` batch at once — image ``n``'s slice equals
+    ``apply_aux_layer(inst, acts[n], params)`` exactly (pooling folds the
+    batch into the channel axis, which the per-channel kernels treat
+    identically).
+    """
+    layer = inst.layer
+    n = acts.shape[0]
+    if inst.kind == "relu":
+        return F.relu(acts)
+    if inst.kind == "pool":
+        assert isinstance(layer, Pool2D)
+        pad = _resolve_padding(layer.padding, layer.kernel)
+        pool = F.max_pool2d if layer.mode == "max" else F.avg_pool2d
+        pooled = pool(acts.reshape((-1,) + acts.shape[2:]), layer.kernel, layer.stride, pad)
+        return pooled.reshape((n, acts.shape[1]) + pooled.shape[1:])
+    if inst.kind == "bn":
+        p = params[inst.name]
+        return acts * p.scale[None, :, None, None] + p.shift[None, :, None, None]
+    if inst.kind == "flatten":
+        return acts.reshape(n, -1)
+    if inst.kind == "gap":
+        return acts.reshape(n, acts.shape[1], -1).mean(axis=2)
+    return np.stack([apply_aux_layer(inst, image, params) for image in acts])
+
+
+class _MappedComputeLayer:
+    """One conv/FC layer programmed onto crossbars (all groups, one backend)."""
+
+    def __init__(
+        self,
+        inst: LayerInstance,
+        params: NetworkParams,
+        ctx: SimContext,
+        mode: str,
+        backend: str,
+    ):
         self.inst = inst
+        self.backend = backend
         layer = inst.layer
         p = params[inst.name]
         # Per-output-channel scales: every output channel owns its crossbar
@@ -98,53 +162,91 @@ class _MappedComputeLayer:
         quant = quantize_symmetric_per_channel(p.weights, ctx.arch.weight_bits)
         self.w_scales = quant.scales  # (out_channels,)
         self.bias = p.bias
-        self.groups: List[TiledMatmul] = []
         if isinstance(layer, Conv2D):
             self.kind = "conv"
             self.stride = layer.stride
             self.pad = conv_padding(layer)
             self.kernel = layer.kernel_h
-            self.group_channels = layer.in_channels // layer.groups
+            self.n_groups = layer.groups
+            self.out_channels = layer.out_channels
             group_out = layer.out_channels // layer.groups
-            for g in range(layer.groups):
-                w_g = quant.values[g * group_out : (g + 1) * group_out]
-                matrix = w_g.reshape(group_out, -1).T  # (C/g*Z*G, D/g)
-                self.groups.append(TiledMatmul(matrix, ctx, mode))
+            matrices = [
+                quant.values[g * group_out : (g + 1) * group_out].reshape(group_out, -1).T
+                for g in range(layer.groups)
+            ]  # each (C/g*Z*G, D/g)
         elif isinstance(layer, FullyConnected):
             self.kind = "fc"
-            self.groups.append(TiledMatmul(quant.values.T, ctx, mode))
+            self.n_groups = 1
+            self.out_channels = layer.out_features
+            matrices = [quant.values.T]
         else:  # pragma: no cover - guarded by validate_sequential
             raise EngineError(f"layer {inst.name!r} is not a compute layer")
 
+        if backend == "packed":
+            # all groups of the layer in one packed matmul (stacked axis)
+            stacked = matrices[0] if self.n_groups == 1 else np.stack(matrices)
+            self._packed = PackedMatmul(stacked, ctx, mode)
+            self._groups: List[TiledMatmul] = []
+        else:
+            self._packed = None
+            self._groups = [TiledMatmul(matrix, ctx, mode) for matrix in matrices]
+
     @property
     def crossbars(self) -> int:
-        return sum(group.crossbars for group in self.groups)
+        if self._packed is not None:
+            return self._packed.crossbars
+        return sum(group.crossbars for group in self._groups)
 
-    def forward(self, act: np.ndarray, input_bits: int) -> np.ndarray:
-        """Quantise ``act``, run it through the tiles, dequantise the result."""
-        if np.any(act < 0):
+    def _matmul(self, codes: np.ndarray) -> np.ndarray:
+        """Dispatch ``(positions, total_rows)`` codes to the backend."""
+        if self._packed is not None:
+            # codes were produced by quantize_unsigned_batch: already in range
+            return self._packed.matmul(codes, validate=False)
+        if self.n_groups == 1:
+            return self._groups[0].matmul(codes)
+        group_rows = codes.shape[1] // self.n_groups
+        return np.concatenate(
+            [
+                self._groups[g].matmul(codes[:, g * group_rows : (g + 1) * group_rows])
+                for g in range(self.n_groups)
+            ],
+            axis=1,
+        )
+
+    def forward(self, acts: np.ndarray, input_bits: int) -> np.ndarray:
+        """Quantise a batch, run it through the tiles, dequantise the result.
+
+        ``acts`` is ``(N, C, H, W)`` for conv layers or ``(N, features)``
+        for FC layers; each image gets its own quantisation scale while the
+        matmuls run once over the whole batch.
+        """
+        try:
+            values, in_scales = quantize_unsigned_batch(acts, input_bits)
+        except ValueError as exc:  # negative activations
             raise EngineError(
                 f"layer {self.inst.name!r} received negative inputs; the "
                 "time-domain engine encodes activations as unsigned "
                 "(post-ReLU) codes"
-            )
-        quant = quantize_unsigned(act, input_bits)
-        out_scales = self.w_scales * quant.scale  # (out_channels,)
+            ) from exc
+        n = values.shape[0]
         if self.kind == "fc":
-            y = self.groups[0].matmul(quant.values.reshape(1, -1))[0] * out_scales
+            codes = values.reshape(n, -1)
+            out = self._matmul(codes)  # (N, out_features)
+            np.multiply(out, self.w_scales[None, :] * in_scales[:, None], out=out)
             if self.bias is not None:
-                y = y + self.bias
-            return y
-        outputs = []
-        out_h = out_w = 0
-        for g, tiles in enumerate(self.groups):
-            x_g = quant.values[g * self.group_channels : (g + 1) * self.group_channels]
-            cols, out_h, out_w = F.im2col(x_g, self.kernel, self.stride, self.pad)
-            outputs.append(tiles.matmul(cols))  # (positions, D/groups)
-        out = np.concatenate(outputs, axis=1) * out_scales
+                np.add(out, self.bias, out=out)
+            return out
+        # conv: one im2col over the batch; the channel-major patch layout
+        # keeps each group's rows contiguous, so the grouped matmul slices
+        # the same columns the per-group im2col used to produce.
+        cols, out_h, out_w = F.im2col_batch(values, self.kernel, self.stride, self.pad)
+        positions = cols.shape[1]
+        out = self._matmul(cols.reshape(n * positions, -1))
+        out = out.reshape(n, positions, self.out_channels)
+        np.multiply(out, self.w_scales[None, None, :] * in_scales[:, None, None], out=out)
         if self.bias is not None:
-            out = out + self.bias
-        return out.T.reshape(-1, out_h, out_w)
+            np.add(out, self.bias, out=out)
+        return out.transpose(0, 2, 1).reshape(n, self.out_channels, out_h, out_w)
 
 
 class NetworkExecutor:
@@ -163,6 +265,9 @@ class NetworkExecutor:
     params:
         Optional pre-built parameters; defaults to
         ``NetworkParams(network, ctx.seed)``.
+    backend:
+        ``"packed"`` (vectorized per-slice tensors) or ``"tiled"`` (legacy
+        per-crossbar objects); defaults to the context's ``backend`` field.
     """
 
     def __init__(
@@ -171,17 +276,26 @@ class NetworkExecutor:
         ctx: Optional[SimContext] = None,
         mode: str = "analog",
         params: Optional[NetworkParams] = None,
+        backend: Optional[str] = None,
     ):
         if mode not in MODES:
             raise EngineError(f"unknown engine mode {mode!r}; choose from: {MODES}")
         self.network = network
         self.ctx = ctx or SimContext()
         self.mode = mode
+        self.backend = backend if backend is not None else self.ctx.backend
+        if self.backend not in ENGINE_BACKENDS:
+            raise EngineError(
+                f"unknown engine backend {self.backend!r}; "
+                f"choose from: {ENGINE_BACKENDS}"
+            )
         validate_sequential(network)
         self.params = params or NetworkParams(network, self.ctx.seed)
         self.mapping = self.ctx.map_network(network)
         self._compute: Dict[str, _MappedComputeLayer] = {
-            inst.name: _MappedComputeLayer(inst, self.params, self.ctx, mode)
+            inst.name: _MappedComputeLayer(
+                inst, self.params, self.ctx, mode, self.backend
+            )
             for inst in network.compute_instances
         }
 
@@ -197,39 +311,89 @@ class NetworkExecutor:
             0.0, 1.0, size=(shape.channels, shape.height, shape.width)
         )
 
+    def random_batch(self, n: int, salt: int = 1) -> np.ndarray:
+        """``n`` deterministic input images; ``random_batch(1)[0]`` equals
+        :meth:`random_input` for the same salt."""
+        if n <= 0:
+            raise EngineError("batch size must be positive")
+        shape = self.network.input_shape
+        return self.ctx.rng(salt).uniform(
+            0.0, 1.0, size=(n, shape.channels, shape.height, shape.width)
+        )
+
     def run_reference(self, x: np.ndarray) -> np.ndarray:
         """The float reference output for ``x`` with this executor's weights."""
         return reference_forward(self.network, self.params, x)[0]
 
-    def run(self, x: Optional[np.ndarray] = None) -> ExecutionResult:
-        """Execute ``x`` (default: :meth:`random_input`) through the crossbars."""
+    def run(self, x: Optional[np.ndarray] = None, validate: bool = True) -> ExecutionResult:
+        """Execute ``x`` (default: :meth:`random_input`) through the crossbars.
+
+        ``x`` may be a single ``(C, H, W)`` image or an ``(N, C, H, W)``
+        batch; the output mirrors the input's batchedness.  With
+        ``validate=False`` the float reference forward pass is skipped
+        entirely (the per-layer traces then carry NaN relative errors) —
+        use it for throughput runs where the double-compute would dominate.
+        """
         act = np.asarray(x, dtype=float) if x is not None else self.random_input()
-        if np.any(act < 0):
+        single = act.ndim == 3
+        if single:
+            batch = act[None]
+        elif act.ndim == 4:
+            batch = act
+        else:
+            raise EngineError(
+                "engine inputs must be (channels, height, width) images or "
+                f"(batch, channels, height, width) batches, got shape {act.shape}"
+            )
+        if np.any(batch < 0):
             raise EngineError("engine inputs must be non-negative (unsigned input codes)")
-        _, ref_acts = reference_forward(self.network, self.params, act)
+
+        ref_acts: Optional[Dict[str, np.ndarray]] = None
+        if validate:
+            per_image = [
+                reference_forward(self.network, self.params, image)[1]
+                for image in batch
+            ]
+            ref_acts = {
+                name: np.stack([acts[name] for acts in per_image])
+                for name in per_image[0]
+            }
+
+        acts = batch
         traces: List[LayerTrace] = []
         for inst in self.network:
             if inst.name in self._compute:
                 mapped = self._compute[inst.name]
-                act = mapped.forward(act, self.ctx.arch.input_bits)
+                acts = mapped.forward(acts, self.ctx.arch.input_bits)
                 crossbars = mapped.crossbars
             else:
-                act = apply_aux_layer(inst, act, self.params)
+                acts = _apply_aux_batched(inst, acts, self.params)
                 crossbars = 0
-            check_activation_shape(inst, act)
+            # every batch slice shares acts.shape[1:], so checking one image
+            # checks them all with the reference path's own shape logic
+            check_activation_shape(inst, acts[0])
             traces.append(
                 LayerTrace(
                     name=inst.name,
                     kind=inst.kind,
                     crossbars=crossbars,
-                    rel_error=relative_error(act, ref_acts[inst.name]),
+                    rel_error=(
+                        relative_error(acts, ref_acts[inst.name])
+                        if ref_acts is not None
+                        else float("nan")
+                    ),
                 )
             )
+        last_name = self.network[len(self.network) - 1].name
+        reference = None
+        if ref_acts is not None:
+            reference = ref_acts[last_name][0] if single else ref_acts[last_name]
         return ExecutionResult(
             model=self.network.name,
             mode=self.mode,
-            output=act,
-            reference=ref_acts[self.network[len(self.network) - 1].name],
+            backend=self.backend,
+            output=acts[0] if single else acts,
+            reference=reference,
             traces=traces,
         )
 
@@ -239,6 +403,8 @@ def run_network(
     ctx: Optional[SimContext] = None,
     x: Optional[np.ndarray] = None,
     mode: str = "analog",
+    backend: Optional[str] = None,
+    validate: bool = True,
 ) -> ExecutionResult:
     """One-shot convenience wrapper around :class:`NetworkExecutor`."""
-    return NetworkExecutor(network, ctx, mode).run(x)
+    return NetworkExecutor(network, ctx, mode, backend=backend).run(x, validate=validate)

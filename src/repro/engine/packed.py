@@ -1,0 +1,242 @@
+"""Packed vectorized tile execution: one matmul per layer-slice.
+
+:class:`PackedMatmul` is the performance backend behind
+:class:`repro.engine.executor.NetworkExecutor` (``backend="packed"``, the
+default).  It computes exactly what :class:`repro.engine.tiles.TiledMatmul`
+computes — the integer matmul of input codes against offset-encoded,
+bit-sliced weights, read out through the two-phase time-domain chains — but
+stores and executes the layer as a whole instead of as a grid of crossbar
+objects:
+
+* the weights of **all tiles of all groups** are packed into one contiguous
+  conductance tensor per bit-cell slice, shaped ``(groups, rows_needed,
+  group_cols)`` — partial tiles live at their true ``height x width`` rather
+  than zero-padded ``arch.rows x arch.cols`` arrays, which for a model like
+  vgg_d shrinks programmed state from thousands of padded 256x256 int64 +
+  float64 crossbars to ``n_slices`` float64 tensors the size of the weights,
+* one batched ``codes @ G`` matmul per row-tile slice replaces the Python
+  loop over ``row_tiles x col_tiles x slices`` tile objects (the column-tile
+  axis vanishes entirely: a packed slice holds every output column), and
+  grouped convolutions ride the same call as a stacked leading matmul axis,
+* the time-domain chain — phase-I charge, G_min offset subtraction, clip,
+  phase-II threshold crossing, LSB rescale — is elementwise with per-chain
+  scalars that are identical across a layer's tiles
+  (:class:`repro.circuits.timing.TimeDomainChainSpec`), so it runs as one
+  vectorized :meth:`~repro.circuits.timing.TimeDomainChainSpec.read_out`
+  pass over a charge tensor stacked across every tile, slice, batch
+  position and output column at once.  The sub-ranging MSB/LSB pair of
+  Section IV-C is simply the 2-slice case of this recombination.
+
+Noiseless, the packed path matches the tiled path to float tolerance (both
+recover the exact integer matmul through the same chain algebra).  With
+noise enabled the two backends sample the *same* error models but draw in
+different shapes/orders — the tiled path draws per 256x256 crossbar and per
+tile read-out, the packed path draws once per slice tensor and once per
+layer of delays — so results are statistically equivalent but not
+bit-identical across backends.  Within one backend, runs remain exactly
+reproducible from the noise seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.circuits.timing import TimeDomainChainSpec
+from repro.context import SimContext
+from repro.engine.errors import EngineError
+from repro.engine.tiles import MODES
+
+#: float64 integer matmuls are exact below this product-sum magnitude
+_EXACT_FLOAT_BOUND = float(2 ** 53)
+
+
+class PackedMatmul:
+    """Integer matmul of one layer (all groups) through packed slice tensors.
+
+    Parameters
+    ----------
+    q_weights:
+        Signed integer weights, either ``(rows_needed, out_cols)`` in im2col
+        layout (one weight-sharing group) or ``(groups, rows_needed,
+        group_cols)`` for grouped convolutions; quantised to
+        ``ctx.arch.weight_bits`` bits.
+    ctx:
+        The simulation context supplying geometry, cell/converter specs and
+        the (optional) noise model.
+    mode:
+        ``"analog"`` (vectorized time-domain chains) or ``"ideal"`` (exact
+        integer read-out).
+    """
+
+    def __init__(self, q_weights: np.ndarray, ctx: SimContext, mode: str = "analog"):
+        if mode not in MODES:
+            raise EngineError(f"unknown engine mode {mode!r}; choose from: {MODES}")
+        arch = ctx.arch
+        q = np.asarray(q_weights, dtype=np.int64)
+        if q.ndim == 2:
+            q = q[None]
+        elif q.ndim != 3:
+            raise EngineError(
+                "q_weights must be a 2-D (rows, out_cols) matrix or a 3-D "
+                "(groups, rows, group_cols) stack"
+            )
+        qmax = 2 ** (arch.weight_bits - 1) - 1
+        if np.any(q < -qmax) or np.any(q > qmax):
+            raise EngineError(
+                f"quantised weights must lie in [{-qmax}, {qmax}] for "
+                f"{arch.weight_bits}-bit symmetric quantisation"
+            )
+
+        self.ctx = ctx
+        self.mode = mode
+        self.n_groups, self.rows_needed, self.group_cols = q.shape
+        self.out_cols = self.n_groups * self.group_cols
+        #: offset making the encoded levels unsigned; removed digitally
+        self.offset = 2 ** (arch.weight_bits - 1)
+        encoded = q + self.offset  # (G, R, C), unsigned levels
+
+        self.row_tiles = math.ceil(self.rows_needed / arch.rows)
+        weights_per_tile = arch.weights_per_col_tile
+        if weights_per_tile == 0:
+            raise EngineError(
+                f"a {arch.cols}-column tile cannot hold a single "
+                f"{arch.weight_bits}-bit weight ({arch.cols_per_weight} "
+                f"bit-cell columns per weight)"
+            )
+        self.col_tiles = math.ceil(self.group_cols / weights_per_tile)
+        self.n_slices = arch.cols_per_weight
+        #: power-of-two digital recombination weights of the slice cascade
+        self.shifts = np.array(
+            [float(2 ** (arch.cell_bits * s)) for s in range(self.n_slices)]
+        )
+        #: (start, height) of every row tile in the packed row axis
+        self._row_spans: List[Tuple[int, int]] = [
+            (rt * arch.rows, min(arch.rows, self.rows_needed - rt * arch.rows))
+            for rt in range(self.row_tiles)
+        ]
+        #: chain scalars shared by every tile of the layer (full tile height)
+        self.spec = TimeDomainChainSpec.from_context(ctx)
+
+        if mode == "ideal":
+            # The ideal read-out is linear, so the slice cascade recombines
+            # back into the encoded matrix and one matmul suffices.
+            self._encoded = np.ascontiguousarray(encoded, dtype=np.float64)
+            self._conductances: List[np.ndarray] = []
+        else:
+            cell = arch.cell_spec()
+            mask = 2 ** arch.cell_bits - 1
+            self._encoded = None
+            self._conductances = []
+            for s in range(self.n_slices):
+                levels = (encoded >> (arch.cell_bits * s)) & mask
+                # same map as ReRAMCellSpec.weight_to_conductance, without
+                # the range scan (the mask guarantees valid levels) and with
+                # in-place scaling so deep models don't pay an extra
+                # weights-sized temporary per slice
+                conductances = levels.astype(np.float64)
+                del levels
+                conductances *= cell.g_step_s
+                conductances += cell.g_min_s
+                if ctx.noise is not None:
+                    conductances = ctx.noise.apply_conductance_variation(conductances)
+                self._conductances.append(conductances)
+        # exactness bound for the float64 integer matmul of the ideal path
+        self._ideal_exact = (
+            float(2 ** arch.input_bits - 1)
+            * float(2 ** arch.weight_bits)
+            * self.rows_needed
+            < _EXACT_FLOAT_BOUND
+        )
+
+    @property
+    def crossbars(self) -> int:
+        """Physical crossbars occupied (matches ``LayerMapping`` counting)."""
+        return self.n_groups * self.row_tiles * self.col_tiles
+
+    @property
+    def packed_bytes(self) -> int:
+        """Bytes held by the packed weight state (conductances or levels)."""
+        if self._encoded is not None:
+            return self._encoded.nbytes
+        return sum(g.nbytes for g in self._conductances)
+
+    def matmul(self, codes: np.ndarray, validate: bool = True) -> np.ndarray:
+        """Push input codes through the packed slices and recombine.
+
+        ``codes`` is a ``(positions, n_groups * rows_needed)`` matrix of
+        unsigned input codes — identical to the
+        :meth:`~repro.engine.tiles.TiledMatmul.matmul` contract, with the
+        groups' code blocks concatenated along the row axis (the natural
+        im2col channel-major layout).  Returns the signed dot products as
+        ``(positions, out_cols)``.  ``validate=False`` skips the input range
+        scan for callers that already quantised the codes themselves.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        expected_rows = self.n_groups * self.rows_needed
+        if codes.ndim != 2 or codes.shape[1] != expected_rows:
+            raise EngineError(
+                f"expected codes of shape (positions, {expected_rows}), "
+                f"got {codes.shape}"
+            )
+        if validate:
+            levels = 2 ** self.ctx.arch.input_bits
+            if np.any(codes < 0) or np.any(codes >= levels):
+                raise EngineError(
+                    f"input codes must lie in [0, {levels - 1}] for "
+                    f"{self.ctx.arch.input_bits}-bit inputs"
+                )
+        positions = codes.shape[0]
+        # (G, positions, R): one leading matmul axis per weight-sharing group
+        grouped = codes.reshape(positions, self.n_groups, self.rows_needed)
+        grouped = np.ascontiguousarray(grouped.transpose(1, 0, 2))
+
+        if self.mode == "ideal":
+            if self._ideal_exact:
+                products = grouped.astype(np.float64) @ self._encoded
+            else:  # fall back to (slow) integer matmul beyond 2**53
+                products = (grouped @ self._encoded.astype(np.int64)).astype(np.float64)
+        else:
+            products = self._analog_products(grouped, positions)
+
+        # Digital offset removal: every programmed weight carries ``+offset``,
+        # so each group's columns over-count by ``offset * sum(group codes)``.
+        correction = self.offset * grouped.sum(axis=2, dtype=np.int64)  # (G, P)
+        np.subtract(products, correction[:, :, None], out=products)
+        # concatenate the groups' output columns (group-major channel order)
+        return np.ascontiguousarray(products.transpose(1, 0, 2)).reshape(
+            positions, self.out_cols
+        )
+
+    def _analog_products(self, grouped: np.ndarray, positions: int) -> np.ndarray:
+        """Time-domain estimate of the grouped integer products.
+
+        One ``codes @ G`` matmul per (row tile, slice) fills a charge tensor
+        of shape ``(row_tiles, n_slices, groups, positions, group_cols)``;
+        the elementwise chain then runs once over the whole tensor and the
+        partial products recombine digitally — the sum over row tiles and
+        the power-of-two slice cascade collapse into a single einsum.
+        """
+        spec = self.spec
+        noise = self.ctx.noise
+        if noise is not None and noise.dtc_sigma > 0:
+            delays = spec.dtc.convert(grouped, noise)  # (G, P, R) seconds
+        else:
+            # jitter-free DTC on validated codes: the clip is a no-op, so
+            # the conversion collapses to one scale of the whole batch
+            delays = grouped * spec.dtc.t_del_s
+        charges = np.empty(
+            (self.row_tiles, self.n_slices, self.n_groups, positions, self.group_cols)
+        )
+        delay_sums = np.empty((self.row_tiles, 1, self.n_groups, positions, 1))
+        for rt, (r0, height) in enumerate(self._row_spans):
+            d = delays[:, :, r0 : r0 + height]
+            delay_sums[rt, 0, :, :, 0] = d.sum(axis=2)
+            for s, conductances in enumerate(self._conductances):
+                np.matmul(d, conductances[:, r0 : r0 + height, :], out=charges[rt, s])
+        charges *= spec.v_dd
+        estimates = spec.read_out(charges, delay_sums)
+        # recombine: sum over row tiles (t), slice cascade weights over s
+        return np.einsum("s,tsgpc->gpc", self.shifts, estimates)

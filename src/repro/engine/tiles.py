@@ -44,10 +44,19 @@ MODES = ("analog", "ideal")
 
 
 class _SingleCellTile:
-    """One crossbar tile for weights that fit a single bit-cell column."""
+    """One crossbar tile for weights that fit a single bit-cell column.
+
+    The crossbar is sized at the weight block's true height — a partial row
+    tile occupies only the rows it holds weights for — so the matmul can
+    slice the input codes at that height instead of zero-padding every
+    ``(positions, arch.rows)`` block per call.  The time-domain chain
+    rescales with the row count, so the read-out stays exact.
+    """
 
     def __init__(self, weights: np.ndarray, ctx: SimContext):
-        self.crossbar = ctx.arch.make_crossbar(ctx.noise)
+        self.crossbar = ctx.arch.make_crossbar(
+            ctx.noise, rows=np.asarray(weights).shape[0]
+        )
         self.crossbar.program(weights)
         self.chain = TimeDomainDotProduct(
             self.crossbar, dtc=ctx.arch.dtc(), v_dd=ctx.arch.v_dd
@@ -192,8 +201,9 @@ class TiledMatmul:
         for rt, row in enumerate(self._tiles):
             r0 = rt * arch.rows
             height = min(arch.rows, self.rows_needed - r0)
-            block = np.zeros((positions, arch.rows), dtype=np.int64)
-            block[:, :height] = codes[:, r0 : r0 + height]
+            # Tiles are sized at their true height, so a view of the codes
+            # suffices — no zero-padded (positions, arch.rows) copy per tile.
+            block = codes[:, r0 : r0 + height]
             for ct, tile in enumerate(row):
                 c0 = ct * arch.weights_per_col_tile
                 width = self._col_widths[ct]

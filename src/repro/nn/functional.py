@@ -50,24 +50,43 @@ def im2col(x: np.ndarray, kernel: int, stride: int, pad: int) -> Tuple[np.ndarra
     out_h, out_w:
         Spatial output dimensions.
     """
-    channels, height, width = x.shape
-    padded = pad_spatial(x, pad)
+    cols, out_h, out_w = im2col_batch(x[None], kernel, stride, pad)
+    return cols[0], out_h, out_w
+
+
+def im2col_batch(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> Tuple[np.ndarray, int, int]:
+    """Batched :func:`im2col`: unfold ``(N, C, H, W)`` into patches per image.
+
+    Returns ``(cols, out_h, out_w)`` with ``cols`` of shape
+    ``(N, out_h * out_w, C * kernel * kernel)`` — image ``n``'s slice equals
+    ``im2col(x[n], ...)`` exactly (the single-image kernel delegates here),
+    so the batched engine path sees the same codes as ``N`` single-image
+    calls while gathering all patches in one strided copy.
+
+    The copy is gathered in ``(C*k*k, position)`` order — for unit stride
+    the innermost axis is then a contiguous image row, so it runs at memcpy
+    speed — and returned as the ``(position, C*k*k)`` transpose, which is
+    F-contiguous per image and consumed directly by BLAS in the following
+    matmul.
+    """
+    n, channels, height, width = x.shape
+    padded = (
+        np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+        if pad
+        else x
+    )
     out_h = (height + 2 * pad - kernel) // stride + 1
     out_w = (width + 2 * pad - kernel) // stride + 1
     if out_h <= 0 or out_w <= 0:
         raise ValueError("kernel/stride/pad combination produces empty output")
-
-    # (C, out_h, out_w, k, k) strided view of every kernel window.  The copy
-    # is gathered in (C*k*k, position) order — for unit stride the innermost
-    # axis is then a contiguous image row, so the copy runs at memcpy speed —
-    # and returned as the (position, C*k*k) transpose.  That transpose is
-    # F-contiguous, which BLAS consumes directly in the following matmul.
-    windows = sliding_window_view(padded, (kernel, kernel), axis=(1, 2))
-    windows = windows[:, ::stride, ::stride]
-    cols = np.ascontiguousarray(windows.transpose(0, 3, 4, 1, 2)).reshape(
-        channels * kernel * kernel, out_h * out_w
+    windows = sliding_window_view(padded, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]  # (N, C, out_h, out_w, k, k)
+    cols = np.ascontiguousarray(windows.transpose(0, 1, 4, 5, 2, 3)).reshape(
+        n, channels * kernel * kernel, out_h * out_w
     )
-    return cols.T, out_h, out_w
+    return cols.transpose(0, 2, 1), out_h, out_w
 
 
 def _im2col_loop(x: np.ndarray, kernel: int, stride: int, pad: int) -> Tuple[np.ndarray, int, int]:

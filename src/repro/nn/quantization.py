@@ -55,6 +55,37 @@ def quantize_unsigned(x: np.ndarray, bits: int) -> QuantizedTensor:
     return QuantizedTensor(values=values, scale=scale, bits=bits, signed=False)
 
 
+def quantize_unsigned_batch(x: np.ndarray, bits: int) -> tuple:
+    """Per-image unsigned quantisation of a batched ``(N, ...)`` tensor.
+
+    Each leading-axis slice gets its own scale, exactly as if
+    :func:`quantize_unsigned` had been applied per image — so a batched
+    engine run produces the same codes as ``N`` independent single-image
+    runs while the downstream matmuls amortise over the whole batch.
+    Returns ``(values, scales)`` with ``values`` of ``x``'s shape (int64)
+    and ``scales`` of shape ``(N,)``.
+    """
+    if bits < 1:
+        raise ValueError("unsigned quantisation needs at least 1 bit")
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim < 2:
+        raise ValueError("batched quantisation needs a leading batch axis")
+    qmax = 2 ** bits - 1
+    if x.size:
+        flat = x.reshape(x.shape[0], -1)
+        if float(flat.min()) < 0:
+            raise ValueError("unsigned quantisation requires non-negative inputs")
+        maxes = flat.max(axis=1)
+    else:
+        maxes = np.zeros(x.shape[0])
+    scales = np.where(maxes > 0, maxes / qmax, 1.0)
+    shape = (-1,) + (1,) * (x.ndim - 1)
+    values = x / scales.reshape(shape)
+    np.rint(values, out=values)
+    np.clip(values, 0, qmax, out=values)
+    return values.astype(np.int64), scales
+
+
 @dataclass(frozen=True)
 class ChannelQuantizedTensor:
     """An integer tensor with one scale per leading-axis slice.

@@ -20,10 +20,11 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.circuits.noise import HardwareNoiseConfig
-from repro.context import ArchSpec, SimContext, accelerator_factories
+from repro.context import ENGINE_BACKENDS, ArchSpec, SimContext, accelerator_factories
 from repro.energy.estimator import NetworkEstimate, compare_accelerators
 from repro.nn.models import build_model, list_models
 from repro.nn.network import Network
@@ -113,6 +114,33 @@ def build_run_parser() -> argparse.ArgumentParser:
         help="tile read-out: full time-domain chains or exact integer",
     )
     parser.add_argument(
+        "--backend",
+        choices=ENGINE_BACKENDS,
+        default=ENGINE_BACKENDS[0],
+        help=(
+            "execution backend: packed per-slice tensors (fast, default) or "
+            "the legacy per-tile crossbar objects"
+        ),
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "run a batch of N deterministic random images instead of a "
+            "single image (0 = single image); matmuls amortise over the batch"
+        ),
+    )
+    parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help=(
+            "skip the float reference double-compute (throughput runs); "
+            "relative errors are then not reported"
+        ),
+    )
+    parser.add_argument(
         "--noise",
         type=float,
         default=0.0,
@@ -131,24 +159,56 @@ def build_run_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _default_bench_output() -> str:
+    """Resolve the default artifact path to the repository root.
+
+    The bench trajectory is recorded in-repo (not only as a CI artifact), so
+    the default walks up from this file looking for ``pyproject.toml``;
+    installed outside a checkout it falls back to the working directory.
+    """
+    for parent in Path(__file__).resolve().parents:
+        if (parent / "pyproject.toml").is_file():
+            return str(parent / "BENCH_engine.json")
+    return "BENCH_engine.json"
+
+
 def build_bench_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sim bench",
         description=(
             "Performance smoke: time the vgg_d estimator, a cnn_1 engine run "
-            "and the im2col kernel, and write the numbers to a JSON artifact."
+            "on both execution backends (packed vs legacy tiled, with peak "
+            "memory) and the im2col kernel, and write the numbers to a JSON "
+            "artifact at the repository root."
         ),
     )
     parser.add_argument(
         "--output",
-        default="BENCH_engine.json",
-        help="path of the JSON artifact (default: BENCH_engine.json)",
+        default=None,
+        help="path of the JSON artifact (default: BENCH_engine.json at the repo root)",
     )
     parser.add_argument(
         "--estimator-model", default="vgg_d", help="model for the estimator timing"
     )
     parser.add_argument(
         "--engine-model", default="cnn_1", help="model for the engine smoke"
+    )
+    parser.add_argument(
+        "--engine-batch",
+        type=int,
+        default=4,
+        metavar="N",
+        help="batch size of the engine backend comparison (default: 4)",
+    )
+    parser.add_argument(
+        "--deep-model",
+        default=None,
+        metavar="MODEL",
+        help=(
+            "additionally run MODEL (e.g. vgg_d) end to end on the packed "
+            "analog backend without validation and record its timing; "
+            "skipped by default because deep models take minutes"
+        ),
     )
     return parser
 
@@ -320,6 +380,8 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
         arch = _arch_from_args(args)
         if args.noise < 0:
             raise ValueError("--noise scale must be non-negative")
+        if args.batch < 0:
+            raise ValueError("--batch must be non-negative")
         noise = (
             HardwareNoiseConfig.scaled(args.noise, seed=args.noise_seed)
             if args.noise > 0
@@ -332,31 +394,39 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
     # import here so `estimate` stays importable without the engine package
     from repro.engine import EngineError, NetworkExecutor
 
-    ctx = SimContext(arch=arch, noise=noise, seed=args.seed)
+    validate = not args.no_validate
+    ctx = SimContext(arch=arch, noise=noise, seed=args.seed, backend=args.backend)
     start = time.perf_counter()
     try:
         executor = NetworkExecutor(network, ctx, mode=args.mode)
-        result = executor.run()
+        x = executor.random_batch(args.batch) if args.batch > 0 else None
+        result = executor.run(x, validate=validate)
     except EngineError as exc:
         print(f"engine cannot run {args.model!r}: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - start
 
+    def _err(value: float) -> Optional[float]:
+        return value if validate else None
+
     if args.json:
         doc = {
             "model": args.model,
             "mode": args.mode,
+            "backend": args.backend,
+            "batch": args.batch,
+            "validate": validate,
             "noise_scale": args.noise,
             "seed": args.seed,
             "crossbars": executor.crossbars,
-            "rel_error": result.rel_error,
+            "rel_error": _err(result.rel_error),
             "elapsed_s": elapsed,
             "layers": [
                 {
                     "name": trace.name,
                     "kind": trace.kind,
                     "crossbars": trace.crossbars,
-                    "rel_error": trace.rel_error,
+                    "rel_error": _err(trace.rel_error),
                 }
                 for trace in result.traces
             ],
@@ -364,28 +434,69 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
         print(json.dumps(doc, indent=2))
         return 0
 
+    batch_note = f", batch {args.batch}" if args.batch > 0 else ""
     print(
-        f"Engine run — {args.model} ({args.mode}, "
-        f"noise x{args.noise:g}, seed {args.seed})"
+        f"Engine run — {args.model} ({args.mode}, {args.backend} backend, "
+        f"noise x{args.noise:g}, seed {args.seed}{batch_note})"
     )
     header = f"{'layer':<22} {'kind':<8} {'xbars':>6} {'rel. error':>12}"
     print(header)
     print("-" * len(header))
     for trace in result.traces:
-        print(
-            f"{trace.name:<22} {trace.kind:<8} {trace.crossbars:>6} "
-            f"{trace.rel_error:>12.3e}"
-        )
+        err = f"{trace.rel_error:.3e}" if validate else "-"
+        print(f"{trace.name:<22} {trace.kind:<8} {trace.crossbars:>6} {err:>12}")
     print("-" * len(header))
-    print(
-        f"output rel. error vs float reference: {result.rel_error:.3e}  "
-        f"({executor.crossbars} crossbars, {elapsed:.2f}s)"
-    )
+    if validate:
+        print(
+            f"output rel. error vs float reference: {result.rel_error:.3e}  "
+            f"({executor.crossbars} crossbars, {elapsed:.2f}s)"
+        )
+    else:
+        print(
+            f"validation skipped (--no-validate)  "
+            f"({executor.crossbars} crossbars, {elapsed:.2f}s)"
+        )
     return 0
+
+
+def _timed_engine_run(network, ctx, backend: str, x, repeats: int = 5) -> dict:
+    """Engine timing (programming and execution separately) plus peak memory.
+
+    Weights are programmed once and the forward pass is timed best-of-
+    ``repeats`` on the programmed arrays — the serving scenario the packed
+    backend targets.  The timed runs skip validation (the float
+    double-compute would hide the backend difference); a final
+    :mod:`tracemalloc`-instrumented construction + forward pass records the
+    peak allocation.
+    """
+    import tracemalloc
+
+    from repro.engine import NetworkExecutor
+
+    start = time.perf_counter()
+    executor = NetworkExecutor(network, ctx, mode="analog", backend=backend)
+    program_s = time.perf_counter() - start
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        executor.run(x, validate=False)
+        best = min(best, time.perf_counter() - start)
+    tracemalloc.start()
+    executor = NetworkExecutor(network, ctx, mode="analog", backend=backend)
+    executor.run(x, validate=False)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "elapsed_s": best,
+        "program_s": program_s,
+        "peak_mb": peak / 1e6,
+        "crossbars": executor.crossbars,
+    }
 
 
 def main_bench(argv: Optional[Sequence[str]] = None) -> int:
     args = build_bench_parser().parse_args(argv)
+    output = args.output if args.output is not None else _default_bench_output()
 
     import numpy as np
 
@@ -395,6 +506,7 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
     try:
         estimator_net = _load_model(args.estimator_model)
         engine_net = _load_model(args.engine_model)
+        deep_net = _load_model(args.deep_model) if args.deep_model else None
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -404,26 +516,43 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
     estimates = compare_accelerators(estimator_net, pipelined=True)
     estimator_elapsed = time.perf_counter() - start
 
-    # 2. functional-engine smoke
+    # 2. functional engine: packed vs legacy tiled backend on the same batch
     ctx = SimContext()
-    start = time.perf_counter()
     executor = NetworkExecutor(engine_net, ctx, mode="analog")
-    result = executor.run()
-    engine_elapsed = time.perf_counter() - start
+    batch = max(args.engine_batch, 1)
+    x = executor.random_batch(batch)
+    backends = {
+        backend: _timed_engine_run(engine_net, ctx, backend, x)
+        for backend in ("packed", "tiled")
+    }
+    # one validated packed run for the accuracy figure
+    result = executor.run(x[0])
 
     # 3. im2col kernel micro-benchmark (vgg_d conv1_1 geometry), best of 3
-    x = np.random.default_rng(0).normal(size=(3, 224, 224))
+    xi = np.random.default_rng(0).normal(size=(3, 224, 224))
 
     def best_of(func, repeats=3):
         best = float("inf")
         for _ in range(repeats):
             start = time.perf_counter()
-            func(x, 3, 1, 1)
+            func(xi, 3, 1, 1)
             best = min(best, time.perf_counter() - start)
         return best
 
     loop_elapsed = best_of(F._im2col_loop)
     vectorized_elapsed = best_of(F.im2col)
+
+    # 4. optional deep-model run on the packed backend (no validation),
+    # measured with the same methodology as the backend comparison above
+    deep = None
+    if deep_net is not None:
+        deep = {
+            "model": args.deep_model,
+            "mode": "analog",
+            "backend": "packed",
+            "validate": False,
+            **_timed_engine_run(deep_net, ctx, "packed", None, repeats=1),
+        }
 
     doc = {
         "estimator": {
@@ -442,29 +571,44 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         "engine": {
             "model": args.engine_model,
             "mode": "analog",
-            "elapsed_s": engine_elapsed,
+            "batch": batch,
+            # legacy flat keys mirror the packed backend (the default)
+            "elapsed_s": backends["packed"]["elapsed_s"],
             "rel_error": result.rel_error,
-            "crossbars": executor.crossbars,
+            "crossbars": backends["packed"]["crossbars"],
+            "backends": backends,
+            "speedup": backends["tiled"]["elapsed_s"] / backends["packed"]["elapsed_s"],
         },
         "im2col": {
             "loop_s": loop_elapsed,
             "vectorized_s": vectorized_elapsed,
             "speedup": loop_elapsed / vectorized_elapsed,
         },
+        "deep_engine": deep,
     }
-    with open(args.output, "w") as handle:
+    with open(output, "w") as handle:
         json.dump(doc, handle, indent=2)
         handle.write("\n")
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
     print(
         f"  estimator ({args.estimator_model}): {estimator_elapsed:.2f}s, "
         f"TIMELY {estimates[0].tops_per_watt:.1f} TOPS/W"
     )
     print(
-        f"  engine ({args.engine_model}): {engine_elapsed:.2f}s, "
-        f"rel error {result.rel_error:.2e}"
+        f"  engine ({args.engine_model}, batch {batch}): "
+        f"packed {backends['packed']['elapsed_s']:.3f}s "
+        f"({backends['packed']['peak_mb']:.1f} MB peak) vs "
+        f"tiled {backends['tiled']['elapsed_s']:.3f}s "
+        f"({backends['tiled']['peak_mb']:.1f} MB peak) — "
+        f"{doc['engine']['speedup']:.1f}x, rel error {result.rel_error:.2e}"
     )
     print(f"  im2col: {doc['im2col']['speedup']:.0f}x vs loop")
+    if deep is not None:
+        print(
+            f"  deep engine ({deep['model']}): {deep['elapsed_s']:.1f}s packed analog "
+            f"(+{deep['program_s']:.1f}s programming), "
+            f"{deep['peak_mb'] / 1e3:.2f} GB peak, {deep['crossbars']} crossbars"
+        )
     return 0
 
 

@@ -98,12 +98,51 @@ def test_run_json_schema(capsys):
     doc = json.loads(capsys.readouterr().out)
     assert doc["model"] == "tiny_cnn"
     assert doc["mode"] == "analog"
+    assert doc["backend"] == "packed"
+    assert doc["batch"] == 0
+    assert doc["validate"] is True
     assert doc["noise_scale"] == 0.0
     assert doc["crossbars"] > 0
     assert 0.0 <= doc["rel_error"] < 0.1
     assert {trace["kind"] for trace in doc["layers"]} >= {"conv", "fc"}
     for trace in doc["layers"]:
         assert trace.keys() >= {"name", "kind", "crossbars", "rel_error"}
+
+
+def test_run_backends_agree_noiselessly(capsys):
+    """Both CLI backends report the same rel error to float tolerance."""
+    assert cli.main(["run", "--model", "tiny_cnn", "--json"]) == 0
+    packed = json.loads(capsys.readouterr().out)
+    assert cli.main(["run", "--model", "tiny_cnn", "--json", "--backend", "tiled"]) == 0
+    tiled = json.loads(capsys.readouterr().out)
+    assert tiled["backend"] == "tiled"
+    assert packed["rel_error"] == pytest.approx(tiled["rel_error"], rel=1e-9)
+
+
+def test_run_no_validate_omits_errors(capsys):
+    assert cli.main(["run", "--model", "tiny_cnn", "--json", "--no-validate"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["validate"] is False
+    assert doc["rel_error"] is None
+    assert all(trace["rel_error"] is None for trace in doc["layers"])
+
+
+def test_run_no_validate_table_output(capsys):
+    assert cli.main(["run", "--model", "tiny_mlp", "--no-validate"]) == 0
+    out = capsys.readouterr().out
+    assert "validation skipped" in out
+
+
+def test_run_batched(capsys):
+    assert cli.main(["run", "--model", "tiny_cnn", "--json", "--batch", "2"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["batch"] == 2
+    assert doc["rel_error"] < 0.1
+
+
+def test_run_negative_batch_exits_2(capsys):
+    assert cli.main(["run", "--model", "tiny_cnn", "--batch", "-1"]) == 2
+    assert "invalid configuration" in capsys.readouterr().err
 
 
 def test_run_table_output(capsys):
@@ -163,7 +202,22 @@ def test_bench_writes_artifact(tmp_path, capsys):
     assert doc["engine"]["model"] == "tiny_cnn"
     assert doc["engine"]["elapsed_s"] > 0
     assert doc["engine"]["rel_error"] < 0.1
+    # both engine backends are timed with peak-memory figures
+    for backend in ("packed", "tiled"):
+        assert doc["engine"]["backends"][backend]["elapsed_s"] > 0
+        assert doc["engine"]["backends"][backend]["peak_mb"] > 0
+    assert doc["engine"]["speedup"] > 1.0
     assert doc["im2col"]["speedup"] > 1.0
+    assert doc["deep_engine"] is None  # no --deep-model given
+
+
+def test_bench_default_output_is_repo_root():
+    path = cli._default_bench_output()
+    assert path.endswith("BENCH_engine.json")
+    import pathlib
+
+    parent = pathlib.Path(path).parent
+    assert (parent / "pyproject.toml").is_file()
 
 
 def test_bench_unknown_model_exits_2(tmp_path, capsys):
