@@ -29,7 +29,13 @@ from repro.circuits.analog_buffers import (
     PSubBuf,
     XSubBuf,
 )
-from repro.circuits.noise import HardwareNoiseConfig, cascaded_buffer_error
+from repro.circuits.noise import (
+    HardwareNoiseConfig,
+    NoiseBudget,
+    NoiseStream,
+    cascaded_buffer_error,
+    stable_seed,
+)
 from repro.circuits.reram import ReRAMCellSpec, ReRAMCrossbar
 from repro.circuits.timing import SubRangingDotProduct, TimeDomainDotProduct
 
@@ -49,5 +55,8 @@ __all__ = [
     "TimeDomainDotProduct",
     "SubRangingDotProduct",
     "HardwareNoiseConfig",
+    "NoiseBudget",
+    "NoiseStream",
     "cascaded_buffer_error",
+    "stable_seed",
 ]

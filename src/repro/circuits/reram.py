@@ -186,6 +186,11 @@ class ReRAMCrossbar:
         self._check_rows(levels, "input levels")
         return levels @ self._weights
 
+    @property
+    def programmed_bytes(self) -> int:
+        """Bytes held by the programmed state (integer levels + conductances)."""
+        return self._weights.nbytes + self._conductances.nbytes
+
     def utilization(self) -> float:
         """Fraction of cells holding a non-zero weight level."""
         return float(np.count_nonzero(self._weights)) / float(self.rows * self.cols)

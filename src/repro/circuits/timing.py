@@ -276,15 +276,19 @@ class SubRangingDotProduct:
         self.lsb_chain = TimeDomainDotProduct(self.lsb_crossbar, dtc=dtc, v_dd=v_dd)
 
     @classmethod
-    def from_context(cls, ctx: "SimContext", weights: np.ndarray) -> "SubRangingDotProduct":
+    def from_context(
+        cls, ctx: "SimContext", weights: np.ndarray, noise=None
+    ) -> "SubRangingDotProduct":
         """Build the MSB/LSB pair from a :class:`repro.context.SimContext`.
 
         The cell, converter and supply parameters all come from ``ctx.arch``
-        and the programming noise from ``ctx.noise``, so the functional
-        engine and the analytics price exactly the same hardware.  The
-        crossbar pair is sized at the weight block's true height (a partial
-        row tile occupies only the rows it needs), so input codes can be
-        sliced instead of zero-padded to the full tile height.
+        and the programming noise from ``noise`` (the caller's scoped
+        :class:`~repro.circuits.noise.NoiseStream`, defaulting to
+        ``ctx.noise``), so the functional engine and the analytics price
+        exactly the same hardware.  The crossbar pair is sized at the weight
+        block's true height (a partial row tile occupies only the rows it
+        needs), so input codes can be sliced instead of zero-padded to the
+        full tile height.
         """
         weights = np.asarray(weights)
         return cls(
@@ -292,7 +296,7 @@ class SubRangingDotProduct:
             rows=ctx.arch.tile_height(weights.shape[0]),
             cols=ctx.arch.cols,
             cell=ctx.arch.cell_spec(),
-            noise=ctx.noise,
+            noise=ctx.noise if noise is None else noise,
             dtc=ctx.arch.dtc(),
             v_dd=ctx.arch.v_dd,
         )
@@ -310,3 +314,8 @@ class SubRangingDotProduct:
         msb = self.msb_crossbar.ideal_dot_product(codes)
         lsb = self.lsb_crossbar.ideal_dot_product(codes)
         return msb * (2 ** self.low_bits) + lsb
+
+    @property
+    def programmed_bytes(self) -> int:
+        """Bytes held by the programmed state of the MSB/LSB pair."""
+        return self.msb_crossbar.programmed_bytes + self.lsb_crossbar.programmed_bytes

@@ -186,6 +186,10 @@ class SimContext:
     seed: int = 0
     backend: str = ENGINE_BACKENDS[0]
 
+    # A SimContext is a bag of plain dataclasses (ArchSpec, the stateless
+    # HardwareNoiseConfig) and scalars, so it pickles cleanly across the
+    # process boundary of the Monte-Carlo sweep pool (repro.sweep).
+
     def __post_init__(self) -> None:
         if self.accelerator not in ACCELERATOR_STYLES:
             raise ValueError(
@@ -212,6 +216,21 @@ class SimContext:
     def rng(self, salt: int = 0) -> np.random.Generator:
         """A fresh deterministic generator (``salt`` decorrelates streams)."""
         return np.random.default_rng((self.seed, salt))
+
+    def for_trial(self, trial: int) -> "SimContext":
+        """A copy of this context for Monte-Carlo trial ``trial``.
+
+        Weights and inputs (driven by ``seed``) stay fixed while the noise
+        seed is re-derived from ``(noise.seed, trial)``, so each trial draws
+        an independent — and independently reproducible — noise realisation.
+        With no noise model attached this is a plain copy.
+        """
+        if self.noise is None:
+            return replace(self)
+        from repro.circuits.noise import stable_seed
+
+        noise = replace(self.noise, seed=stable_seed(self.noise.seed, "trial", trial))
+        return replace(self, noise=noise)
 
     def with_noise(self, noise: Optional["HardwareNoiseConfig"]) -> "SimContext":
         """A copy of this context with a different noise model."""

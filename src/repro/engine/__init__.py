@@ -29,7 +29,11 @@ from repro.engine.executor import (
 )
 from repro.engine.packed import PackedMatmul
 from repro.engine.params import LayerParams, NetworkParams
-from repro.engine.reference import reference_forward, validate_sequential
+from repro.engine.reference import (
+    reference_forward,
+    reference_forward_batch,
+    validate_sequential,
+)
 from repro.engine.tiles import TiledMatmul
 
 __all__ = [
@@ -43,6 +47,7 @@ __all__ = [
     "NetworkParams",
     "PackedMatmul",
     "reference_forward",
+    "reference_forward_batch",
     "validate_sequential",
     "TiledMatmul",
 ]

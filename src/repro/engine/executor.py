@@ -43,15 +43,16 @@ from repro.engine.errors import EngineError
 from repro.engine.packed import PackedMatmul
 from repro.engine.params import NetworkParams
 from repro.engine.reference import (
-    apply_aux_layer,
+    apply_aux_batched,
     check_activation_shape,
     conv_padding,
     reference_forward,
+    reference_forward_batch,
     validate_sequential,
 )
 from repro.engine.tiles import MODES, TiledMatmul
 from repro.nn import functional as F
-from repro.nn.layers import Conv2D, FullyConnected, Pool2D, _resolve_padding
+from repro.nn.layers import Conv2D, FullyConnected
 from repro.nn.network import LayerInstance, Network
 from repro.nn.quantization import (
     quantize_symmetric_per_channel,
@@ -110,37 +111,6 @@ class ExecutionResult:
         return {trace.name: trace for trace in self.traces}
 
 
-def _apply_aux_batched(
-    inst: LayerInstance, acts: np.ndarray, params: NetworkParams
-) -> np.ndarray:
-    """Batched counterpart of :func:`repro.engine.reference.apply_aux_layer`.
-
-    Applies the same :mod:`repro.nn.functional` kernels over a whole
-    ``(N, ...)`` batch at once — image ``n``'s slice equals
-    ``apply_aux_layer(inst, acts[n], params)`` exactly (pooling folds the
-    batch into the channel axis, which the per-channel kernels treat
-    identically).
-    """
-    layer = inst.layer
-    n = acts.shape[0]
-    if inst.kind == "relu":
-        return F.relu(acts)
-    if inst.kind == "pool":
-        assert isinstance(layer, Pool2D)
-        pad = _resolve_padding(layer.padding, layer.kernel)
-        pool = F.max_pool2d if layer.mode == "max" else F.avg_pool2d
-        pooled = pool(acts.reshape((-1,) + acts.shape[2:]), layer.kernel, layer.stride, pad)
-        return pooled.reshape((n, acts.shape[1]) + pooled.shape[1:])
-    if inst.kind == "bn":
-        p = params[inst.name]
-        return acts * p.scale[None, :, None, None] + p.shift[None, :, None, None]
-    if inst.kind == "flatten":
-        return acts.reshape(n, -1)
-    if inst.kind == "gap":
-        return acts.reshape(n, acts.shape[1], -1).mean(axis=2)
-    return np.stack([apply_aux_layer(inst, image, params) for image in acts])
-
-
 class _MappedComputeLayer:
     """One conv/FC layer programmed onto crossbars (all groups, one backend)."""
 
@@ -182,20 +152,31 @@ class _MappedComputeLayer:
         else:  # pragma: no cover - guarded by validate_sequential
             raise EngineError(f"layer {inst.name!r} is not a compute layer")
 
+        # noise scopes derive from the layer index, so noisy draws are
+        # independent of how many executors were constructed before this one
         if backend == "packed":
             # all groups of the layer in one packed matmul (stacked axis)
             stacked = matrices[0] if self.n_groups == 1 else np.stack(matrices)
-            self._packed = PackedMatmul(stacked, ctx, mode)
+            self._packed = PackedMatmul(stacked, ctx, mode, salt=inst.index)
             self._groups: List[TiledMatmul] = []
         else:
             self._packed = None
-            self._groups = [TiledMatmul(matrix, ctx, mode) for matrix in matrices]
+            self._groups = [
+                TiledMatmul(matrix, ctx, mode, salt=(inst.index, g))
+                for g, matrix in enumerate(matrices)
+            ]
 
     @property
     def crossbars(self) -> int:
         if self._packed is not None:
             return self._packed.crossbars
         return sum(group.crossbars for group in self._groups)
+
+    @property
+    def programmed_bytes(self) -> int:
+        if self._packed is not None:
+            return self._packed.programmed_bytes
+        return sum(group.programmed_bytes for group in self._groups)
 
     def _matmul(self, codes: np.ndarray) -> np.ndarray:
         """Dispatch ``(positions, total_rows)`` codes to the backend."""
@@ -304,6 +285,16 @@ class NetworkExecutor:
         """Programmed physical crossbars (pairs counted once, as the mapper does)."""
         return sum(layer.crossbars for layer in self._compute.values())
 
+    @property
+    def programmed_bytes(self) -> int:
+        """Resident bytes of the programmed weight state across all layers.
+
+        Packed: the per-slice conductance tensors; tiled: the integer levels
+        plus conductances of every physical crossbar.  The bench adds this to
+        the traced forward-pass peak for its memory figure.
+        """
+        return sum(layer.programmed_bytes for layer in self._compute.values())
+
     def random_input(self, salt: int = 1) -> np.ndarray:
         """A deterministic non-negative input image for this context's seed."""
         shape = self.network.input_shape
@@ -350,14 +341,8 @@ class NetworkExecutor:
 
         ref_acts: Optional[Dict[str, np.ndarray]] = None
         if validate:
-            per_image = [
-                reference_forward(self.network, self.params, image)[1]
-                for image in batch
-            ]
-            ref_acts = {
-                name: np.stack([acts[name] for acts in per_image])
-                for name in per_image[0]
-            }
+            # one batched float pass — not N separate Python-loop forwards
+            ref_acts = reference_forward_batch(self.network, self.params, batch)[1]
 
         acts = batch
         traces: List[LayerTrace] = []
@@ -367,7 +352,7 @@ class NetworkExecutor:
                 acts = mapped.forward(acts, self.ctx.arch.input_bits)
                 crossbars = mapped.crossbars
             else:
-                acts = _apply_aux_batched(inst, acts, self.params)
+                acts = apply_aux_batched(inst, acts, self.params)
                 crossbars = 0
             # every batch slice shares acts.shape[1:], so checking one image
             # checks them all with the reference path's own shape logic

@@ -33,14 +33,17 @@ noise enabled the two backends sample the *same* error models but draw in
 different shapes/orders — the tiled path draws per 256x256 crossbar and per
 tile read-out, the packed path draws once per slice tensor and once per
 layer of delays — so results are statistically equivalent but not
-bit-identical across backends.  Within one backend, runs remain exactly
-reproducible from the noise seed.
+bit-identical across backends.  Within one backend, runs are exactly
+reproducible from the noise seed: every draw comes from a
+:class:`repro.circuits.noise.NoiseStream` derived from ``(seed, layer
+salt)``, so results are independent of how many other executors were
+constructed first.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 import numpy as np
 
@@ -69,9 +72,20 @@ class PackedMatmul:
     mode:
         ``"analog"`` (vectorized time-domain chains) or ``"ideal"`` (exact
         integer read-out).
+    salt:
+        Identifies this layer's noise scope (the executor passes the layer
+        index).  Programming and read-out noise streams derive from
+        ``(ctx.noise.seed, salt)``, so noisy results are independent of
+        construction order.
     """
 
-    def __init__(self, q_weights: np.ndarray, ctx: SimContext, mode: str = "analog"):
+    def __init__(
+        self,
+        q_weights: np.ndarray,
+        ctx: SimContext,
+        mode: str = "analog",
+        salt: Union[int, tuple] = 0,
+    ):
         if mode not in MODES:
             raise EngineError(f"unknown engine mode {mode!r}; choose from: {MODES}")
         arch = ctx.arch
@@ -119,6 +133,13 @@ class PackedMatmul:
         ]
         #: chain scalars shared by every tile of the layer (full tile height)
         self.spec = TimeDomainChainSpec.from_context(ctx)
+        #: noise scopes derived from (seed, salt) — construction-order free
+        salt_parts = salt if isinstance(salt, tuple) else (salt,)
+        program_noise = None
+        self._read_noise = None
+        if ctx.noise is not None:
+            program_noise = ctx.noise.stream("packed", *salt_parts, "program")
+            self._read_noise = ctx.noise.stream("packed", *salt_parts, "read")
 
         if mode == "ideal":
             # The ideal read-out is linear, so the slice cascade recombines
@@ -140,8 +161,8 @@ class PackedMatmul:
                 del levels
                 conductances *= cell.g_step_s
                 conductances += cell.g_min_s
-                if ctx.noise is not None:
-                    conductances = ctx.noise.apply_conductance_variation(conductances)
+                if program_noise is not None:
+                    conductances = program_noise.apply_conductance_variation(conductances)
                 self._conductances.append(conductances)
         # exactness bound for the float64 integer matmul of the ideal path
         self._ideal_exact = (
@@ -162,6 +183,11 @@ class PackedMatmul:
         if self._encoded is not None:
             return self._encoded.nbytes
         return sum(g.nbytes for g in self._conductances)
+
+    @property
+    def programmed_bytes(self) -> int:
+        """Backend-uniform alias of :attr:`packed_bytes` (cf. ``TiledMatmul``)."""
+        return self.packed_bytes
 
     def matmul(self, codes: np.ndarray, validate: bool = True) -> np.ndarray:
         """Push input codes through the packed slices and recombine.
@@ -220,7 +246,7 @@ class PackedMatmul:
         the power-of-two slice cascade collapse into a single einsum.
         """
         spec = self.spec
-        noise = self.ctx.noise
+        noise = self._read_noise
         if noise is not None and noise.dtc_sigma > 0:
             delays = spec.dtc.convert(grouped, noise)  # (G, P, R) seconds
         else:

@@ -68,6 +68,38 @@ def conv_padding(layer: Conv2D) -> int:
     return _resolve_padding(layer.padding, layer.kernel_h)
 
 
+def apply_aux_batched(
+    inst: LayerInstance, acts: np.ndarray, params: NetworkParams
+) -> np.ndarray:
+    """Batched counterpart of :func:`apply_aux_layer`.
+
+    Applies the same :mod:`repro.nn.functional` kernels over a whole
+    ``(N, ...)`` batch at once — image ``n``'s slice equals
+    ``apply_aux_layer(inst, acts[n], params)`` exactly (pooling folds the
+    batch into the channel axis, which the per-channel kernels treat
+    identically).  Shared by the crossbar executor and the batched float
+    reference, so the two paths can only differ in the conv/FC dot products.
+    """
+    layer = inst.layer
+    n = acts.shape[0]
+    if inst.kind == "relu":
+        return F.relu(acts)
+    if inst.kind == "pool":
+        assert isinstance(layer, Pool2D)
+        pad = _resolve_padding(layer.padding, layer.kernel)
+        pool = F.max_pool2d if layer.mode == "max" else F.avg_pool2d
+        pooled = pool(acts.reshape((-1,) + acts.shape[2:]), layer.kernel, layer.stride, pad)
+        return pooled.reshape((n, acts.shape[1]) + pooled.shape[1:])
+    if inst.kind == "bn":
+        p = params[inst.name]
+        return acts * p.scale[None, :, None, None] + p.shift[None, :, None, None]
+    if inst.kind == "flatten":
+        return acts.reshape(n, -1)
+    if inst.kind == "gap":
+        return acts.reshape(n, acts.shape[1], -1).mean(axis=2)
+    return np.stack([apply_aux_layer(inst, image, params) for image in acts])
+
+
 def apply_aux_layer(inst: LayerInstance, act: np.ndarray, params: NetworkParams) -> np.ndarray:
     """Apply one non-MAC layer (shared by the reference and crossbar paths)."""
     layer = inst.layer
@@ -101,6 +133,56 @@ def check_activation_shape(inst: LayerInstance, act: np.ndarray) -> None:
             f"layer {inst.name!r} produced activation shape {act.shape}, but "
             f"shape inference resolved {expected} (check padding spec)"
         )
+
+
+def reference_forward_batch(
+    network: Network, params: NetworkParams, x: np.ndarray
+) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """Batched :func:`reference_forward`: one float pass over ``(N, C, H, W)``.
+
+    Returns the ``(N, ...)`` outputs and per-layer activation stacks; image
+    ``n``'s slices match ``reference_forward(network, params, x[n])`` (the
+    conv/FC matmuls run as stacked GEMMs of exactly the per-image shapes, so
+    any difference is at the last-ulp level of the BLAS).  The executor's
+    batched validation uses this instead of ``N`` separate Python-loop
+    reference forwards — one im2col and one stacked matmul per layer instead
+    of ``N`` of each.
+    """
+    validate_sequential(network)
+    acts = np.asarray(x, dtype=float)
+    if acts.ndim != 4:
+        raise EngineError(
+            f"expected a (batch, channels, height, width) batch, got shape {acts.shape}"
+        )
+    n = acts.shape[0]
+    activations: Dict[str, np.ndarray] = {}
+    for inst in network:
+        layer = inst.layer
+        if isinstance(layer, Conv2D):
+            p = params[inst.name]
+            pad = conv_padding(layer)
+            group_in = layer.in_channels // layer.groups
+            group_out = layer.out_channels // layer.groups
+            outputs = []
+            for g in range(layer.groups):
+                x_g = acts[:, g * group_in : (g + 1) * group_in]
+                cols, out_h, out_w = F.im2col_batch(x_g, layer.kernel_h, layer.stride, pad)
+                w_g = p.weights[g * group_out : (g + 1) * group_out]
+                outputs.append(cols @ w_g.reshape(group_out, -1).T)  # (N, P, D/g)
+            out = np.concatenate(outputs, axis=2)
+            if p.bias is not None:
+                out = out + p.bias
+            acts = out.transpose(0, 2, 1).reshape(n, layer.out_channels, out_h, out_w)
+        elif isinstance(layer, FullyConnected):
+            p = params[inst.name]
+            acts = acts.reshape(n, -1) @ p.weights.T
+            if p.bias is not None:
+                acts = acts + p.bias
+        else:
+            acts = apply_aux_batched(inst, acts, params)
+        check_activation_shape(inst, acts[0])
+        activations[inst.name] = acts
+    return acts, activations
 
 
 def reference_forward(

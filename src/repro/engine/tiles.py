@@ -51,11 +51,15 @@ class _SingleCellTile:
     slice the input codes at that height instead of zero-padding every
     ``(positions, arch.rows)`` block per call.  The time-domain chain
     rescales with the row count, so the read-out stays exact.
+
+    ``noise`` is the tile's *programming* noise scope (a
+    :class:`repro.circuits.noise.NoiseStream` derived per tile, or ``None``);
+    read-out noise arrives per :meth:`compute` call.
     """
 
-    def __init__(self, weights: np.ndarray, ctx: SimContext):
+    def __init__(self, weights: np.ndarray, ctx: SimContext, noise=None):
         self.crossbar = ctx.arch.make_crossbar(
-            ctx.noise, rows=np.asarray(weights).shape[0]
+            noise, rows=np.asarray(weights).shape[0]
         )
         self.crossbar.program(weights)
         self.chain = TimeDomainDotProduct(
@@ -68,6 +72,10 @@ class _SingleCellTile:
     def ideal(self, codes: np.ndarray) -> np.ndarray:
         return self.crossbar.ideal_dot_product(codes)
 
+    @property
+    def programmed_bytes(self) -> int:
+        return self.crossbar.programmed_bytes
+
 
 class _SlicedTile:
     """A weight block split into ``n`` base-``2**cell_bits`` cell slices.
@@ -79,12 +87,14 @@ class _SlicedTile:
     products recombine digitally as ``sum_s partial_s * 2**(s*cell_bits)``.
     """
 
-    def __init__(self, weights: np.ndarray, ctx: SimContext, n_slices: int):
+    def __init__(self, weights: np.ndarray, ctx: SimContext, n_slices: int, noise=None):
         cell_bits = ctx.arch.cell_bits
         mask = 2 ** cell_bits - 1
         self.shifts = [2 ** (cell_bits * s) for s in range(n_slices)]
+        # the slices share one programming stream: construction order inside a
+        # tile is fixed, so the sequential draws stay reproducible per tile
         self.slices = [
-            _SingleCellTile((weights >> (cell_bits * s)) & mask, ctx)
+            _SingleCellTile((weights >> (cell_bits * s)) & mask, ctx, noise)
             for s in range(n_slices)
         ]
 
@@ -99,6 +109,10 @@ class _SlicedTile:
             tile.ideal(codes) * shift
             for tile, shift in zip(self.slices, self.shifts)
         )
+
+    @property
+    def programmed_bytes(self) -> int:
+        return sum(tile.programmed_bytes for tile in self.slices)
 
 
 class TiledMatmul:
@@ -115,9 +129,21 @@ class TiledMatmul:
         the (optional) noise model.
     mode:
         ``"analog"`` (time-domain chains) or ``"ideal"`` (exact read-out).
+    salt:
+        Identifies this matmul's noise scope (e.g. ``(layer_index, group)``
+        from the executor).  Every tile derives its programming and read-out
+        noise streams from ``(ctx.noise.seed, salt, tile coordinates)``, so
+        noisy results are independent of how many other objects consumed
+        noise before this one was built.
     """
 
-    def __init__(self, q_weights: np.ndarray, ctx: SimContext, mode: str = "analog"):
+    def __init__(
+        self,
+        q_weights: np.ndarray,
+        ctx: SimContext,
+        mode: str = "analog",
+        salt: Union[int, tuple] = 0,
+    ):
         if mode not in MODES:
             raise EngineError(f"unknown engine mode {mode!r}; choose from: {MODES}")
         arch = ctx.arch
@@ -148,7 +174,17 @@ class TiledMatmul:
             )
         self.col_tiles = math.ceil(self.out_cols / weights_per_tile)
 
+        salt_parts = salt if isinstance(salt, tuple) else (salt,)
+        noise = ctx.noise
+
+        def tile_stream(kind: str, rt: int, ct: int):
+            if noise is None:
+                return None
+            return noise.stream("tiled", *salt_parts, kind, rt, ct)
+
         self._tiles: List[List[Union[_SingleCellTile, _SlicedTile, SubRangingDotProduct]]] = []
+        #: per-tile read-out noise scopes, parallel to ``_tiles``
+        self._read_noise: List[List[Optional["object"]]] = []
         self._col_widths: List[int] = []
         for ct in range(self.col_tiles):
             c0 = ct * weights_per_tile
@@ -158,21 +194,30 @@ class TiledMatmul:
             r0 = rt * arch.rows
             height = min(arch.rows, self.rows_needed - r0)
             row: List[Union[_SingleCellTile, _SlicedTile, SubRangingDotProduct]] = []
+            read_row: List[Optional["object"]] = []
             for ct in range(self.col_tiles):
                 c0 = ct * weights_per_tile
                 block = encoded[r0 : r0 + height, c0 : c0 + self._col_widths[ct]]
+                program = tile_stream("program", rt, ct)
                 if arch.cols_per_weight == 1:
-                    row.append(_SingleCellTile(block, ctx))
+                    row.append(_SingleCellTile(block, ctx, program))
                 elif arch.cols_per_weight == 2:
-                    row.append(SubRangingDotProduct.from_context(ctx, block))
+                    row.append(SubRangingDotProduct.from_context(ctx, block, noise=program))
                 else:
-                    row.append(_SlicedTile(block, ctx, arch.cols_per_weight))
+                    row.append(_SlicedTile(block, ctx, arch.cols_per_weight, program))
+                read_row.append(tile_stream("read", rt, ct))
             self._tiles.append(row)
+            self._read_noise.append(read_row)
 
     @property
     def crossbars(self) -> int:
         """Physical crossbars occupied (matches ``LayerMapping`` counting)."""
         return self.row_tiles * self.col_tiles
+
+    @property
+    def programmed_bytes(self) -> int:
+        """Bytes held by the programmed crossbar state (levels + conductances)."""
+        return sum(tile.programmed_bytes for row in self._tiles for tile in row)
 
     def matmul(self, codes: np.ndarray) -> np.ndarray:
         """Push input codes through the tiles and recombine partial sums.
@@ -210,7 +255,7 @@ class TiledMatmul:
                 if self.mode == "ideal":
                     partial = tile.ideal(block)
                 else:
-                    partial = tile.compute(block, self.ctx.noise)
+                    partial = tile.compute(block, self._read_noise[rt][ct])
                 acc[:, c0 : c0 + width] += np.asarray(partial, dtype=float)[:, :width]
         # Digital offset removal: every programmed weight carries ``+offset``,
         # so each output column over-counts by ``offset * sum(codes)``.

@@ -1,0 +1,174 @@
+"""Monte-Carlo sweep grids: trial specifications and their content keys.
+
+A sweep is the cartesian product of (model x cell-bits x backend x noise
+scale x trial index) over one architecture/seed configuration — the
+"accuracy vs. analog error" characterisation of Section V.  Each point is a
+:class:`TrialSpec`: a small frozen dataclass of primitives that
+
+* pickles across the :class:`~repro.sweep.pool` process boundary,
+* builds its own :class:`repro.context.SimContext` (weights/input fixed by
+  ``seed``, noise decorrelated per trial via
+  :meth:`repro.context.SimContext.for_trial`), and
+* hashes to a stable **content key** so the result store can skip trials
+  that a previous — possibly interrupted — invocation already computed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+from dataclasses import asdict, dataclass
+from typing import List, Tuple
+
+from repro.context import ENGINE_BACKENDS, ArchSpec, SimContext
+
+#: engine read-out modes a sweep may run (mirrors repro.engine.tiles.MODES
+#: without importing the engine at grid-definition time)
+SWEEP_MODES = ("analog", "ideal")
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One grid point: everything a worker needs to run the trial.
+
+    All fields are primitives, so the spec pickles cheaply and its canonical
+    JSON form defines the content key.  ``trial`` only decorrelates the noise
+    draws — weights and the input image are fixed by ``seed`` across trials,
+    which is the paper's Monte-Carlo setup (one trained network, many noise
+    realisations) and what makes per-trial errors comparable across noise
+    scales.
+    """
+
+    model: str
+    noise_scale: float
+    trial: int
+    cell_bits: int = 4
+    backend: str = "packed"
+    seed: int = 0
+    mode: str = "analog"
+    rows: int = 256
+    cols: int = 256
+    weight_bits: int = 8
+    input_bits: int = 8
+
+    @property
+    def key(self) -> str:
+        """Stable content key of this trial (prefix of the spec's SHA-256)."""
+        canonical = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def context(self) -> SimContext:
+        """The simulation context of this trial.
+
+        The noise model carries the Section-V sigma ratios scaled by
+        ``noise_scale`` (``0`` = ideal hardware) and a per-trial seed derived
+        from ``(seed, "trial", trial)`` — identical across noise scales, so a
+        trial's error grows monotonically with the scale draw-for-draw.
+        """
+        from repro.circuits.noise import HardwareNoiseConfig
+
+        arch = ArchSpec(
+            rows=self.rows,
+            cols=self.cols,
+            cell_bits=self.cell_bits,
+            weight_bits=self.weight_bits,
+            input_bits=self.input_bits,
+        )
+        noise = (
+            HardwareNoiseConfig.scaled(self.noise_scale, seed=self.seed)
+            if self.noise_scale > 0
+            else None
+        )
+        ctx = SimContext(arch=arch, noise=noise, seed=self.seed, backend=self.backend)
+        return ctx.for_trial(self.trial)
+
+    def as_row(self) -> dict:
+        """The spec's fields as a flat JSON-ready dict (key included)."""
+        return {"key": self.key, **asdict(self)}
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """The full cartesian sweep over models, noise scales, cells and backends."""
+
+    models: Tuple[str, ...] = ("cnn_1",)
+    noise_scales: Tuple[float, ...] = (0.0, 0.5, 1.0)
+    trials: int = 8
+    cell_bits: Tuple[int, ...] = (4,)
+    backends: Tuple[str, ...] = ("packed",)
+    seed: int = 0
+    mode: str = "analog"
+    rows: int = 256
+    cols: int = 256
+    weight_bits: int = 8
+    input_bits: int = 8
+
+    def __post_init__(self) -> None:
+        # normalise away repeated grid values (e.g. `--noise-grid 0,0.5,0.5`)
+        # before validation: duplicates would inflate trial counts and write
+        # duplicate rows under one content key, which resume logic assumes
+        # cannot happen
+        for name in ("models", "noise_scales", "cell_bits", "backends"):
+            values = tuple(dict.fromkeys(getattr(self, name)))
+            object.__setattr__(self, name, values)
+        if not self.models:
+            raise ValueError("a sweep needs at least one model")
+        if not self.noise_scales:
+            raise ValueError("a sweep needs at least one noise scale")
+        if self.trials <= 0:
+            raise ValueError("trials must be positive")
+        # NaN passes a bare `< 0` check and would serialise as invalid JSON
+        if any(not math.isfinite(scale) or scale < 0 for scale in self.noise_scales):
+            raise ValueError("noise scales must be finite and non-negative")
+        if not self.cell_bits or any(bits <= 0 for bits in self.cell_bits):
+            raise ValueError("cell_bits entries must be positive")
+        unknown = [b for b in self.backends if b not in ENGINE_BACKENDS]
+        if unknown or not self.backends:
+            raise ValueError(
+                f"unknown backends {unknown}; choose from: {ENGINE_BACKENDS}"
+            )
+        if self.mode not in SWEEP_MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; choose from: {SWEEP_MODES}")
+
+    def specs(self) -> List[TrialSpec]:
+        """Every trial of the grid in deterministic (canonical) order."""
+        return [
+            TrialSpec(
+                model=model,
+                noise_scale=scale,
+                trial=trial,
+                cell_bits=bits,
+                backend=backend,
+                seed=self.seed,
+                mode=self.mode,
+                rows=self.rows,
+                cols=self.cols,
+                weight_bits=self.weight_bits,
+                input_bits=self.input_bits,
+            )
+            for model, bits, backend, scale, trial in itertools.product(
+                self.models,
+                self.cell_bits,
+                self.backends,
+                self.noise_scales,
+                range(self.trials),
+            )
+        ]
+
+    def __len__(self) -> int:
+        return (
+            len(self.models)
+            * len(self.cell_bits)
+            * len(self.backends)
+            * len(self.noise_scales)
+            * self.trials
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable description (lists instead of tuples)."""
+        doc = asdict(self)
+        for name in ("models", "noise_scales", "cell_bits", "backends"):
+            doc[name] = list(doc[name])
+        return doc

@@ -1,0 +1,168 @@
+"""Parallel sweep execution through a process pool.
+
+:func:`run_trial` is the (picklable, module-level) worker: it rebuilds the
+trial's :class:`~repro.context.SimContext` from the :class:`TrialSpec`
+primitives, runs one validated engine forward pass and returns a plain-dict
+result row.  Because every noise draw is derived statelessly from
+``(seed, salt)`` (see :mod:`repro.circuits.noise`), a worker computes
+exactly the row the parent process would — worker count, scheduling order
+and resume boundaries cannot change any result.
+
+:func:`run_sweep` drives a grid through a ``ProcessPoolExecutor`` (or
+inline for ``workers <= 1``), appending rows to the
+:class:`~repro.sweep.store.SweepStore` as they complete and compacting the
+store into canonical grid order at the end.  Noise-scale-0 grid points are
+deduplicated: with no noise model attached every trial of such a point is
+the same deterministic forward pass, so one engine run fans out to all of
+its trials' rows.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.sweep.grid import SweepGrid, TrialSpec
+from repro.sweep.store import SweepStore
+
+
+def run_trial(spec: TrialSpec) -> dict:
+    """Run one sweep trial and return its deterministic result row.
+
+    The row carries the spec fields (with content key), the end-to-end
+    relative error against the float reference, the per-layer relative
+    errors (the error-attribution data the reducer aggregates) and the
+    crossbar count — and deliberately **no** wall-clock fields, so rows are
+    byte-identical across runs and worker counts.
+    """
+    from repro.engine import NetworkExecutor
+    from repro.nn.models import build_model
+
+    network = build_model(spec.model)
+    ctx = spec.context()
+    executor = NetworkExecutor(network, ctx, mode=spec.mode)
+    result = executor.run(executor.random_input(), validate=True)
+    row = spec.as_row()
+    row["rel_error"] = result.rel_error
+    row["crossbars"] = executor.crossbars
+    row["layers"] = {trace.name: trace.rel_error for trace in result.traces}
+    return row
+
+
+def _work_spec(spec: TrialSpec) -> TrialSpec:
+    """The spec whose engine run produces ``spec``'s results.
+
+    At noise scale 0 the noise model is ``None``, and in ``"ideal"`` mode
+    the exact integer read-out bypasses the noisy analog chains entirely —
+    either way every trial of the grid point is the same deterministic
+    forward pass, so all of them share trial 0's run: it executes once and
+    its results fan out to each trial's row (rows still differ in their
+    ``trial`` field and content key).
+    """
+    if spec.trial == 0 or (spec.noise_scale > 0 and spec.mode != "ideal"):
+        return spec
+    return replace(spec, trial=0)
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """What one :func:`run_sweep` invocation did."""
+
+    #: all grid rows in canonical grid order (computed + previously stored)
+    rows: List[dict]
+    #: trial rows produced by this invocation
+    computed: int
+    #: trials skipped because the store already held their keys
+    skipped: int
+    #: engine runs actually performed (< ``computed`` when noiseless grid
+    #: points deduplicated their identical trials)
+    executed: int
+    elapsed_s: float
+
+    @property
+    def trials_per_sec(self) -> float:
+        if self.elapsed_s <= 0:
+            return float("inf") if self.computed else 0.0
+        return self.computed / self.elapsed_s
+
+
+def run_sweep(
+    grid: SweepGrid,
+    store: SweepStore,
+    workers: int = 1,
+    resume: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepOutcome:
+    """Run every missing trial of ``grid``, recording rows in ``store``.
+
+    With ``resume=True`` trials whose content keys are already stored are
+    skipped (an interrupted sweep continues where it stopped; a completed
+    one computes nothing).  Without it any previous store content is
+    discarded.  ``workers <= 1`` runs inline — no pool, same rows.
+    """
+    if workers < 0:
+        raise ValueError("workers must be non-negative")
+    specs = grid.specs()
+    if not resume:
+        store.clear()
+    known: Dict[str, dict] = store.load()
+    pending = [spec for spec in specs if spec.key not in known]
+    skipped = len(specs) - len(pending)
+    if progress and skipped:
+        progress(f"resuming: {skipped} of {len(specs)} trials already stored")
+
+    # deduplicate: noiseless trials of one grid point share a single run
+    members: Dict[str, List[TrialSpec]] = {}
+    work: Dict[str, TrialSpec] = {}
+    for spec in pending:
+        shared = _work_spec(spec)
+        members.setdefault(shared.key, []).append(spec)
+        work[shared.key] = shared
+
+    done = 0
+
+    def emit(work_row: dict, dependents: List[TrialSpec]) -> None:
+        nonlocal done
+        for spec in dependents:
+            if spec.key == work_row["key"]:
+                row = work_row
+            else:  # fan a shared noiseless run out to this trial's own row
+                row = {**work_row, **spec.as_row()}
+            store.append(row)
+            known[row["key"]] = row
+            done += 1
+            if progress:
+                progress(
+                    f"trial {done}/{len(pending)} ({spec.model}, noise x{spec.noise_scale:g})"
+                )
+
+    start = time.perf_counter()
+    # a shared run whose row resumed from the store fans out without re-running
+    for key in [key for key in work if key in known]:
+        emit(known[key], members.pop(key))
+        del work[key]
+    if workers <= 1 or len(work) <= 1:
+        for key, shared in work.items():
+            emit(run_trial(shared), members[key])
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(run_trial, shared): key for key, shared in work.items()}
+            for future in as_completed(futures):
+                emit(future.result(), members[futures[future]])  # errors propagate
+    elapsed = time.perf_counter() - start
+
+    # compact: grid rows in canonical order, then any foreign rows (other
+    # grids sharing the store) in key order so the file stays deterministic
+    ordered = [known[spec.key] for spec in specs]
+    grid_keys = {spec.key for spec in specs}
+    extras = [known[key] for key in sorted(known) if key not in grid_keys]
+    store.rewrite(ordered + extras)
+    return SweepOutcome(
+        rows=ordered,
+        computed=len(pending),
+        skipped=skipped,
+        executed=len(work),
+        elapsed_s=elapsed,
+    )

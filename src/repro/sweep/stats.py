@@ -1,0 +1,80 @@
+"""Reduction of sweep result rows into summary statistics.
+
+The reducer answers the Section-V question the sweep exists for: how does
+accuracy degrade as the analog error model scales?  Rows are grouped by
+configuration (model, cell bits, backend) and, within each group, by noise
+scale; every (configuration, scale) cell reduces to mean / p95 / max
+relative error plus the per-layer mean errors (error attribution — which
+layer's analog chains contribute the degradation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+#: the fields that identify one sweep configuration group
+GROUP_FIELDS = ("model", "cell_bits", "backend")
+
+
+def summarize(rows: Iterable[dict]) -> List[dict]:
+    """Reduce result rows into per-(configuration, noise-scale) statistics.
+
+    Returns one entry per (model, cell_bits, backend, noise_scale), sorted
+    canonically, each carrying ``trials``, ``mean_rel_error``,
+    ``p95_rel_error``, ``max_rel_error``, ``std_rel_error`` and a
+    ``layers`` dict of per-layer mean relative errors.
+    """
+    cells: Dict[Tuple, List[dict]] = {}
+    for row in rows:
+        group = tuple(row[field] for field in GROUP_FIELDS) + (row["noise_scale"],)
+        cells.setdefault(group, []).append(row)
+
+    summary: List[dict] = []
+    # model/backend sort as strings, cell_bits and noise_scale numerically
+    for group in sorted(cells, key=lambda g: (str(g[0]), g[1], str(g[2]), g[3])):
+        bucket = cells[group]
+        errors = np.array([row["rel_error"] for row in bucket], dtype=float)
+        layer_names = list(bucket[0].get("layers", {}))
+        layers = {
+            name: float(np.mean([row["layers"][name] for row in bucket]))
+            for name in layer_names
+        }
+        entry = dict(zip(GROUP_FIELDS, group[:-1]))
+        entry.update(
+            {
+                "noise_scale": group[-1],
+                "trials": len(bucket),
+                "mean_rel_error": float(errors.mean()),
+                "p95_rel_error": float(np.percentile(errors, 95)),
+                "max_rel_error": float(errors.max()),
+                "std_rel_error": float(errors.std()),
+                "layers": layers,
+            }
+        )
+        summary.append(entry)
+    return summary
+
+
+def format_summary(summary: List[dict], per_layer: bool = False) -> str:
+    """Human-readable table of :func:`summarize` output."""
+    lines: List[str] = []
+    header = (
+        f"{'model':<12} {'cells':>5} {'backend':<8} {'noise':>6} {'trials':>6} "
+        f"{'mean err':>11} {'p95 err':>11} {'max err':>11}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for entry in summary:
+        lines.append(
+            f"{entry['model']:<12} {entry['cell_bits']:>5} {entry['backend']:<8} "
+            f"{entry['noise_scale']:>6g} {entry['trials']:>6} "
+            f"{entry['mean_rel_error']:>11.3e} {entry['p95_rel_error']:>11.3e} "
+            f"{entry['max_rel_error']:>11.3e}"
+        )
+        if per_layer and entry["layers"]:
+            worst = sorted(entry["layers"].items(), key=lambda kv: -kv[1])
+            for name, err in worst:
+                lines.append(f"{'':<12} {'':>5} {'':<8} {'':>6} {name:>20}: {err:.3e}")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Incremental, resumable JSON-lines result store for sweep trials.
+
+Every completed trial is appended as one JSON line keyed by the trial's
+content key — an interrupted sweep therefore loses at most the in-flight
+trials, and a re-invocation with ``resume`` skips everything already on
+disk.  Rows hold only deterministic content (spec fields + accuracy
+results, no wall-clock), so equal grids produce byte-identical rows no
+matter how many workers computed them; :meth:`SweepStore.rewrite` compacts
+the append-ordered file into canonical grid order once a sweep completes,
+making the whole file byte-stable too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+
+def row_line(row: dict) -> str:
+    """The canonical serialised form of one result row (sorted keys)."""
+    return json.dumps(row, sort_keys=True)
+
+
+class SweepStore:
+    """Append-only JSON-lines store with content-key lookup."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        #: malformed lines skipped by the last :meth:`load` (e.g. the torn
+        #: tail of a crashed append) — they are simply recomputed
+        self.skipped_lines = 0
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def load(self) -> Dict[str, dict]:
+        """All stored rows by content key (malformed lines are dropped)."""
+        rows: Dict[str, dict] = {}
+        self.skipped_lines = 0
+        if not self.exists():
+            return rows
+        with open(self.path, "r") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                    key = row["key"]
+                except (json.JSONDecodeError, TypeError, KeyError):
+                    self.skipped_lines += 1
+                    continue
+                rows[key] = row
+        return rows
+
+    def clear(self) -> None:
+        """Drop any previous results (a fresh, non-resumed sweep)."""
+        if self.exists():
+            self.path.unlink()
+
+    def append(self, row: dict) -> None:
+        """Durably append one completed trial."""
+        if "key" not in row:
+            raise ValueError("result rows must carry their content 'key'")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(row_line(row) + "\n")
+            handle.flush()
+
+    def rewrite(self, rows: Iterable[dict]) -> None:
+        """Atomically replace the file with ``rows`` in the given order.
+
+        Called once a sweep completes to compact the completion-ordered
+        appends into canonical grid order — the file is then byte-identical
+        across worker counts and re-runs.
+        """
+        rows = list(rows)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "w") as handle:
+            for row in rows:
+                handle.write(row_line(row) + "\n")
+        os.replace(tmp, self.path)
+
+    def lines(self) -> List[str]:
+        """The raw stored lines (for byte-identity checks and tooling)."""
+        if not self.exists():
+            return []
+        return [line for line in self.path.read_text().splitlines() if line.strip()]

@@ -179,6 +179,88 @@ def test_run_negative_noise_exits_2(capsys):
 
 
 # ---------------------------------------------------------------------------
+# sweep
+# ---------------------------------------------------------------------------
+
+def _sweep_args(tmp_path, *extra):
+    return [
+        "sweep",
+        "--model",
+        "tiny_cnn",
+        "--noise-grid",
+        "0,1",
+        "--trials",
+        "2",
+        "--output",
+        str(tmp_path / "rows.jsonl"),
+        *extra,
+    ]
+
+
+def test_sweep_json_schema_and_monotone_errors(tmp_path, capsys):
+    assert cli.main(_sweep_args(tmp_path, "--json")) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["grid"]["models"] == ["tiny_cnn"]
+    assert doc["grid"]["noise_scales"] == [0.0, 1.0]
+    assert doc["trials"] == 4
+    assert doc["computed"] == 4 and doc["skipped"] == 0
+    assert doc["executed"] == 3  # the two noiseless trials share one run
+    assert doc["trials_per_sec"] > 0
+    scales = [entry["noise_scale"] for entry in doc["summary"]]
+    errors = [entry["mean_rel_error"] for entry in doc["summary"]]
+    assert scales == [0.0, 1.0]
+    assert errors[0] < errors[1]
+    for entry in doc["summary"]:
+        assert entry.keys() >= {
+            "model",
+            "cell_bits",
+            "backend",
+            "trials",
+            "mean_rel_error",
+            "p95_rel_error",
+            "max_rel_error",
+            "layers",
+        }
+    assert (tmp_path / "rows.jsonl").is_file()
+
+
+def test_sweep_resume_computes_zero(tmp_path, capsys):
+    assert cli.main(_sweep_args(tmp_path, "--json")) == 0
+    capsys.readouterr()
+    assert cli.main(_sweep_args(tmp_path, "--resume", "--json")) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["computed"] == 0
+    assert doc["skipped"] == 4
+
+
+def test_sweep_table_output(tmp_path, capsys):
+    assert cli.main(_sweep_args(tmp_path, "--per-layer")) == 0
+    out = capsys.readouterr().out
+    assert "Sweep — tiny_cnn" in out
+    assert "mean err" in out and "p95 err" in out
+
+
+def test_sweep_unknown_model_exits_2(tmp_path, capsys):
+    assert cli.main(["sweep", "--model", "nope", "--output", str(tmp_path / "x")]) == 2
+    assert "unknown model" in capsys.readouterr().err
+
+
+def test_sweep_invalid_noise_grid_exits_2(tmp_path, capsys):
+    args = _sweep_args(tmp_path)
+    args[args.index("0,1")] = "0,abc"
+    assert cli.main(args) == 2
+    assert "invalid sweep configuration" in capsys.readouterr().err
+    args[args.index("0,abc")] = "-1"
+    assert cli.main(args) == 2
+    assert "invalid sweep configuration" in capsys.readouterr().err
+
+
+def test_sweep_unknown_backend_exits_2(tmp_path, capsys):
+    assert cli.main(_sweep_args(tmp_path, "--backend", "bogus")) == 2
+    assert "invalid sweep configuration" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
 # bench
 # ---------------------------------------------------------------------------
 
@@ -202,12 +284,25 @@ def test_bench_writes_artifact(tmp_path, capsys):
     assert doc["engine"]["model"] == "tiny_cnn"
     assert doc["engine"]["elapsed_s"] > 0
     assert doc["engine"]["rel_error"] < 0.1
-    # both engine backends are timed with peak-memory figures
+    # both engine backends are timed with peak- and resident-memory figures
     for backend in ("packed", "tiled"):
         assert doc["engine"]["backends"][backend]["elapsed_s"] > 0
         assert doc["engine"]["backends"][backend]["peak_mb"] > 0
+        assert doc["engine"]["backends"][backend]["programmed_mb"] > 0
+    # the packed layout must hold less programmed state than padded tiles
+    assert (
+        doc["engine"]["backends"]["packed"]["programmed_mb"]
+        < doc["engine"]["backends"]["tiled"]["programmed_mb"]
+    )
     assert doc["engine"]["speedup"] > 1.0
     assert doc["im2col"]["speedup"] > 1.0
+    # sweep smoke: throughput and parallel-speedup figures are recorded
+    assert doc["sweep"]["model"] == "tiny_cnn"
+    assert doc["sweep"]["trials"] == 4
+    assert doc["sweep"]["engine_runs"] == 3  # noiseless pair shares one run
+    assert doc["sweep"]["serial_trials_per_sec"] > 0
+    assert doc["sweep"]["serial_s"] > 0 and doc["sweep"]["parallel_s"] > 0
+    assert doc["sweep"]["parallel_speedup"] > 0
     assert doc["deep_engine"] is None  # no --deep-model given
 
 

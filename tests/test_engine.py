@@ -15,6 +15,7 @@ from repro.engine import (
     NetworkParams,
     TiledMatmul,
     reference_forward,
+    reference_forward_batch,
     run_network,
     validate_sequential,
 )
@@ -177,6 +178,52 @@ def test_reference_forward_resolves_every_layer_shape():
     out, activations = reference_forward(network, params, x)
     assert out.shape == (10,)
     assert len(activations) == len(network)
+
+
+def test_batched_validation_equals_per_image_validation():
+    """The batched reference pass must reproduce N per-image reference
+    forwards — the executor's validation now runs it once per batch instead
+    of once per image."""
+    for name in ("cnn_1", "tiny_mlp"):
+        network = build_model(name)
+        executor = NetworkExecutor(network, SimContext())
+        batch = executor.random_batch(3)
+        out, acts = reference_forward_batch(network, executor.params, batch)
+        for n in range(batch.shape[0]):
+            single_out, single_acts = reference_forward(
+                network, executor.params, batch[n]
+            )
+            np.testing.assert_allclose(out[n], single_out, rtol=1e-12, atol=1e-12)
+            for layer_name, act in single_acts.items():
+                np.testing.assert_allclose(
+                    acts[layer_name][n], act, rtol=1e-12, atol=1e-12
+                )
+
+
+def test_batched_run_traces_match_per_image_runs():
+    """End to end: a validated batch reports the same per-layer errors as
+    running the images one by one (ideal mode keeps the matmuls exact)."""
+    network = build_model("tiny_cnn")
+    ctx = SimContext()
+    executor = NetworkExecutor(network, ctx, mode="ideal")
+    batch = executor.random_batch(2)
+    batched = executor.run(batch)
+    singles = [executor.run(image) for image in batch]
+    assert batched.rel_error == pytest.approx(
+        np.linalg.norm([r.rel_error * np.linalg.norm(r.reference) for r in singles])
+        / np.linalg.norm([np.linalg.norm(r.reference) for r in singles]),
+        rel=1e-6,
+    )
+    np.testing.assert_allclose(
+        batched.output, np.stack([r.output for r in singles]), rtol=1e-12, atol=1e-12
+    )
+
+
+def test_reference_forward_batch_rejects_non_batches():
+    network = build_model("tiny_mlp")
+    params = NetworkParams(network, seed=0)
+    with pytest.raises(EngineError):
+        reference_forward_batch(network, params, np.zeros((1, 8, 8)))
 
 
 def test_network_params_are_seed_deterministic_and_layer_local():

@@ -1,0 +1,289 @@
+"""Monte-Carlo sweep subsystem: grid expansion and content keys, worker-count
+determinism (byte-identical stores), resumability (zero recomputation),
+monotone error growth with the noise scale, and construction-order
+independence of the noisy engine draws the sweep depends on."""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.circuits.noise import HardwareNoiseConfig
+from repro.context import SimContext
+from repro.engine import NetworkExecutor
+from repro.nn.models import build_model
+from repro.sweep import (
+    SweepGrid,
+    SweepStore,
+    TrialSpec,
+    format_summary,
+    run_sweep,
+    run_trial,
+    summarize,
+)
+
+TINY_GRID = SweepGrid(models=("tiny_cnn",), noise_scales=(0.0, 1.0), trials=2, seed=0)
+
+
+# ---------------------------------------------------------------------------
+# grid + specs
+# ---------------------------------------------------------------------------
+
+def test_grid_expands_the_full_cartesian_product():
+    grid = SweepGrid(
+        models=("tiny_cnn", "tiny_mlp"),
+        noise_scales=(0.0, 1.0),
+        trials=3,
+        cell_bits=(4, 8),
+        backends=("packed", "tiled"),
+    )
+    specs = grid.specs()
+    assert len(specs) == len(grid) == 2 * 2 * 3 * 2 * 2
+    assert len({spec.key for spec in specs}) == len(specs)  # keys are unique
+    # deterministic canonical order
+    assert [spec.key for spec in grid.specs()] == [spec.key for spec in specs]
+
+
+def test_trial_keys_are_content_stable():
+    spec = TrialSpec(model="tiny_cnn", noise_scale=0.5, trial=1)
+    same = TrialSpec(model="tiny_cnn", noise_scale=0.5, trial=1)
+    other = TrialSpec(model="tiny_cnn", noise_scale=0.5, trial=2)
+    assert spec.key == same.key
+    assert spec.key != other.key
+    assert pickle.loads(pickle.dumps(spec)).key == spec.key
+
+
+def test_trial_context_decorrelates_noise_per_trial_only():
+    a = TrialSpec(model="tiny_cnn", noise_scale=1.0, trial=0).context()
+    b = TrialSpec(model="tiny_cnn", noise_scale=1.0, trial=1).context()
+    assert a.seed == b.seed  # weights/input fixed across trials
+    assert a.noise.seed != b.noise.seed
+    # the same trial at a different scale shares the noise seed, so a
+    # trial's draws scale monotonically with the noise severity
+    c = TrialSpec(model="tiny_cnn", noise_scale=0.5, trial=0).context()
+    assert c.noise.seed == a.noise.seed
+    zero = TrialSpec(model="tiny_cnn", noise_scale=0.0, trial=0).context()
+    assert zero.noise is None
+
+
+def test_grid_deduplicates_repeated_values_in_order():
+    grid = SweepGrid(
+        models=("tiny_cnn", "tiny_cnn"),
+        noise_scales=(0.0, 0.5, 0.5),
+        trials=2,
+        cell_bits=(4, 4),
+        backends=("packed", "packed"),
+    )
+    assert grid.models == ("tiny_cnn",)
+    assert grid.noise_scales == (0.0, 0.5)
+    assert grid.cell_bits == (4,)
+    assert grid.backends == ("packed",)
+    assert len(grid) == len(grid.specs()) == 4
+
+
+def test_grid_rejects_bad_configurations():
+    with pytest.raises(ValueError):
+        SweepGrid(models=())
+    with pytest.raises(ValueError):
+        SweepGrid(trials=0)
+    with pytest.raises(ValueError):
+        SweepGrid(noise_scales=(-0.5,))
+    # NaN/inf would pass a bare `< 0` check and corrupt the JSON store
+    with pytest.raises(ValueError):
+        SweepGrid(noise_scales=(float("nan"),))
+    with pytest.raises(ValueError):
+        SweepGrid(noise_scales=(float("inf"),))
+    with pytest.raises(ValueError):
+        SweepGrid(backends=("bogus",))
+    with pytest.raises(ValueError):
+        SweepGrid(mode="warp")
+
+
+# ---------------------------------------------------------------------------
+# store
+# ---------------------------------------------------------------------------
+
+def test_store_appends_and_loads_by_key(tmp_path):
+    store = SweepStore(tmp_path / "rows.jsonl")
+    store.append({"key": "a", "value": 1})
+    store.append({"key": "b", "value": 2})
+    rows = store.load()
+    assert set(rows) == {"a", "b"}
+    assert rows["a"]["value"] == 1
+
+
+def test_store_tolerates_a_torn_tail_line(tmp_path):
+    """A crash mid-append leaves a partial line; it is skipped (and thus
+    recomputed), not fatal."""
+    path = tmp_path / "rows.jsonl"
+    store = SweepStore(path)
+    store.append({"key": "a", "value": 1})
+    with open(path, "a") as handle:
+        handle.write('{"key": "b", "val')  # torn write
+    rows = store.load()
+    assert set(rows) == {"a"}
+    assert store.skipped_lines == 1
+
+
+def test_store_rewrite_is_canonical(tmp_path):
+    store = SweepStore(tmp_path / "rows.jsonl")
+    store.append({"key": "b", "value": 2})
+    store.append({"key": "a", "value": 1})
+    store.rewrite([{"key": "a", "value": 1}, {"key": "b", "value": 2}])
+    assert [json.loads(line)["key"] for line in store.lines()] == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# sweep execution
+# ---------------------------------------------------------------------------
+
+def test_sweep_rows_are_byte_identical_across_worker_counts(tmp_path):
+    serial = SweepStore(tmp_path / "serial.jsonl")
+    pooled = SweepStore(tmp_path / "pooled.jsonl")
+    run_sweep(TINY_GRID, serial, workers=1)
+    run_sweep(TINY_GRID, pooled, workers=2)
+    assert serial.lines() == pooled.lines()
+    assert serial.path.read_bytes() == pooled.path.read_bytes()
+
+
+def test_sweep_resume_computes_zero_new_trials(tmp_path):
+    store = SweepStore(tmp_path / "rows.jsonl")
+    first = run_sweep(TINY_GRID, store, workers=1)
+    assert first.computed == len(TINY_GRID) and first.skipped == 0
+    before = store.path.read_bytes()
+    again = run_sweep(TINY_GRID, store, workers=1, resume=True)
+    assert again.computed == 0
+    assert again.skipped == len(TINY_GRID)
+    assert store.path.read_bytes() == before
+    assert [row["key"] for row in again.rows] == [row["key"] for row in first.rows]
+
+
+def test_sweep_resume_completes_a_partial_store(tmp_path):
+    """Only the missing trials run; surviving rows are reused verbatim —
+    including fanning a stored noiseless run out to its sibling trials
+    without re-executing it."""
+    store = SweepStore(tmp_path / "rows.jsonl")
+    complete = run_sweep(TINY_GRID, store, workers=1)
+    # keep only the first row (noise 0, trial 0), as an interrupted sweep might
+    store.rewrite(complete.rows[:1])
+    resumed = run_sweep(TINY_GRID, store, workers=1, resume=True)
+    assert resumed.skipped == 1
+    assert resumed.computed == len(TINY_GRID) - 1
+    # noise-0 trial 1 reuses the stored trial-0 run; only the 2 noisy trials execute
+    assert resumed.executed == 2
+    assert resumed.rows == complete.rows
+
+
+def test_noiseless_grid_points_share_one_engine_run(tmp_path):
+    """Scale-0 trials are bit-identical forwards, so they execute once and
+    fan out — rows still carry their own trial index and content key."""
+    outcome = run_sweep(TINY_GRID, SweepStore(tmp_path / "rows.jsonl"), workers=1)
+    assert outcome.computed == 4
+    assert outcome.executed == 3  # 1 shared noiseless run + 2 noisy trials
+    zero_rows = [row for row in outcome.rows if row["noise_scale"] == 0.0]
+    assert [row["trial"] for row in zero_rows] == [0, 1]
+    assert len({row["key"] for row in zero_rows}) == 2
+    assert zero_rows[0]["rel_error"] == zero_rows[1]["rel_error"]
+
+
+def test_sweep_without_resume_recomputes_a_stale_store(tmp_path):
+    store = SweepStore(tmp_path / "rows.jsonl")
+    store.append({"key": "stale", "value": 1})
+    outcome = run_sweep(TINY_GRID, store, workers=1)
+    assert outcome.computed == len(TINY_GRID)
+    assert "stale" not in store.load()
+
+
+def test_mean_error_grows_monotonically_with_noise_on_cnn1(tmp_path):
+    """The acceptance bar: cnn_1 over --noise-grid 0,0.5,1 shows mean
+    rel-error increasing with the noise scale."""
+    grid = SweepGrid(models=("cnn_1",), noise_scales=(0.0, 0.5, 1.0), trials=2)
+    outcome = run_sweep(grid, SweepStore(tmp_path / "rows.jsonl"), workers=1)
+    summary = summarize(outcome.rows)
+    errors = [entry["mean_rel_error"] for entry in summary]
+    assert [entry["noise_scale"] for entry in summary] == [0.0, 0.5, 1.0]
+    assert errors[0] < errors[1] < errors[2]
+    # per-layer attribution is populated and finite
+    for entry in summary:
+        assert entry["layers"]
+        assert all(np.isfinite(err) for err in entry["layers"].values())
+
+
+def test_ideal_mode_trials_share_one_engine_run_per_grid_point(tmp_path):
+    """Ideal read-out bypasses the noisy analog chains, so every trial of
+    every grid point is deterministic — one run each, fanned out."""
+    grid = SweepGrid(
+        models=("tiny_cnn",), noise_scales=(0.0, 1.0), trials=3, mode="ideal"
+    )
+    outcome = run_sweep(grid, SweepStore(tmp_path / "rows.jsonl"), workers=1)
+    assert outcome.computed == 6
+    assert outcome.executed == 2  # one per grid point
+    by_scale = {}
+    for row in outcome.rows:
+        by_scale.setdefault(row["noise_scale"], set()).add(row["rel_error"])
+    assert all(len(errors) == 1 for errors in by_scale.values())
+
+
+def test_run_trial_row_matches_a_direct_engine_run():
+    spec = TrialSpec(model="tiny_cnn", noise_scale=1.0, trial=3)
+    row = run_trial(spec)
+    network = build_model(spec.model)
+    executor = NetworkExecutor(network, spec.context(), mode=spec.mode)
+    result = executor.run(executor.random_input(), validate=True)
+    assert row["rel_error"] == result.rel_error
+    assert row["crossbars"] == executor.crossbars
+    assert row["key"] == spec.key
+
+
+# ---------------------------------------------------------------------------
+# stats
+# ---------------------------------------------------------------------------
+
+def test_summarize_reduces_mean_and_p95():
+    rows = [
+        {
+            "model": "m",
+            "cell_bits": 4,
+            "backend": "packed",
+            "noise_scale": 1.0,
+            "rel_error": err,
+            "layers": {"conv": err / 2},
+        }
+        for err in (0.1, 0.2, 0.3, 0.4)
+    ]
+    (entry,) = summarize(rows)
+    assert entry["trials"] == 4
+    assert entry["mean_rel_error"] == pytest.approx(0.25)
+    assert entry["p95_rel_error"] == pytest.approx(np.percentile([0.1, 0.2, 0.3, 0.4], 95))
+    assert entry["max_rel_error"] == pytest.approx(0.4)
+    assert entry["layers"]["conv"] == pytest.approx(0.125)
+    assert "packed" in format_summary([entry])
+
+
+# ---------------------------------------------------------------------------
+# the correctness prerequisite: construction-order independent noise
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", ["packed", "tiled"])
+def test_two_executors_from_one_context_agree_noisily(backend):
+    """The headline bugfix: noisy outputs no longer depend on how many
+    executors consumed the (previously shared) noise stream first."""
+    network = build_model("tiny_cnn")
+    ctx = SimContext(noise=HardwareNoiseConfig.scaled(1.0, seed=5), backend=backend)
+    first = NetworkExecutor(network, ctx)
+    second = NetworkExecutor(network, ctx)  # construction order must not matter
+    x = first.random_input()
+    np.testing.assert_array_equal(first.run(x).output, second.run(x).output)
+
+
+def test_noisy_output_is_independent_of_unrelated_noise_consumption():
+    network = build_model("tiny_cnn")
+    noise = HardwareNoiseConfig.scaled(1.0, seed=5)
+    ctx = SimContext(noise=noise)
+    x = NetworkExecutor(network, ctx).random_input()
+    baseline = NetworkExecutor(network, ctx).run(x).output
+    # burn unrelated draws on the same config, then rebuild: identical
+    noise.sample(1.0, (1024,), salt="elsewhere")
+    NetworkExecutor(build_model("tiny_mlp"), SimContext(noise=noise))
+    np.testing.assert_array_equal(NetworkExecutor(network, ctx).run(x).output, baseline)
