@@ -33,6 +33,7 @@ from repro.engine.reference import (
     reference_forward,
     reference_forward_batch,
     validate_sequential,
+    validate_supported,
 )
 from repro.engine.tiles import TiledMatmul
 
@@ -49,5 +50,6 @@ __all__ = [
     "reference_forward",
     "reference_forward_batch",
     "validate_sequential",
+    "validate_supported",
     "TiledMatmul",
 ]

@@ -6,8 +6,11 @@ from __future__ import annotations
 class EngineError(RuntimeError):
     """A network, layer or activation the functional engine cannot execute.
 
-    Raised for branching topologies (the engine executes the flat,
-    shape-chained view only), unsupported layer kinds, architectures whose
-    weight precision does not fit one or two bit-cell columns, and negative
-    layer inputs (TIMELY encodes activations as unsigned post-ReLU codes).
+    Raised for unsupported layer kinds (with the offending layer named),
+    non-square conv kernels, architectures whose weight precision does not
+    fit the bit-cell columns, and negative layer inputs (TIMELY encodes
+    activations as unsigned post-ReLU codes).  Malformed graphs — cycles,
+    dangling producers, shape mismatches at a merge — are rejected earlier,
+    at :class:`~repro.nn.network.Network` construction, with a
+    :class:`~repro.nn.network.GraphError` naming the layers involved.
     """

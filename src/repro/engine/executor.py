@@ -15,8 +15,15 @@ counts them, and pushes real activations through the
    images of a batch, with optional :mod:`repro.circuits.noise` injection,
 4. partial-sum recombination across row tiles, digital offset removal,
    dequantisation and bias addition,
-5. auxiliary layers (ReLU, pooling, batch-norm, flatten, GAP) applied with
-   the same :mod:`repro.nn.functional` kernels as the float reference.
+5. auxiliary layers (ReLU, pooling, batch-norm, flatten, GAP, residual
+   add, channel concat) applied with the same :mod:`repro.nn.functional`
+   kernels as the float reference.
+
+Execution walks the network's deterministic topological order, so
+branching DAGs (ResNet, SqueezeNet) run end to end; intermediate
+activations are freed once their last consumer has run (liveness-based
+freeing — what keeps deep residual nets inside laptop memory), and the
+observed peak is reported per run.
 
 Inputs may be a single ``(C, H, W)`` image or a first-class ``(N, C, H, W)``
 batch; activations are quantised per image (so a batched run produces
@@ -48,16 +55,34 @@ from repro.engine.reference import (
     conv_padding,
     reference_forward,
     reference_forward_batch,
-    validate_sequential,
+    validate_supported,
 )
 from repro.engine.tiles import MODES, TiledMatmul
 from repro.nn import functional as F
 from repro.nn.layers import Conv2D, FullyConnected
-from repro.nn.network import LayerInstance, Network
+from repro.nn.network import NETWORK_INPUT, LayerInstance, Network
 from repro.nn.quantization import (
     quantize_symmetric_per_channel,
     quantize_unsigned_batch,
 )
+
+
+def _live_buffer_bytes(arrays) -> int:
+    """Total bytes of the distinct buffers backing ``arrays``.
+
+    Views (e.g. a flatten output, which is a reshape of its producer) share
+    their base's buffer: counting ``nbytes`` per array would double-count
+    them, and "freeing" a producer whose view is still live releases
+    nothing.  Deduplicating by base buffer charges each allocation once,
+    for as long as anything referencing it stays live.
+    """
+    seen = {}
+    for arr in arrays:
+        base = arr
+        while isinstance(base.base, np.ndarray):
+            base = base.base
+        seen[id(base)] = base.nbytes
+    return sum(seen.values())
 
 
 def relative_error(estimate: np.ndarray, reference: np.ndarray) -> float:
@@ -87,7 +112,10 @@ class ExecutionResult:
 
     ``output`` (and ``reference``, when validation ran) carry a leading
     batch axis exactly when the input did; ``reference`` is ``None`` for
-    ``validate=False`` runs.
+    ``validate=False`` runs.  ``peak_activation_bytes`` is the maximum
+    total size of simultaneously live activations during the engine pass
+    (the quantity liveness-based freeing bounds; it excludes the float
+    reference activations a validated run additionally holds).
     """
 
     model: str
@@ -96,6 +124,7 @@ class ExecutionResult:
     output: np.ndarray
     reference: Optional[np.ndarray] = None
     traces: List[LayerTrace] = field(default_factory=list)
+    peak_activation_bytes: int = 0
 
     @property
     def rel_error(self) -> float:
@@ -149,7 +178,7 @@ class _MappedComputeLayer:
             self.n_groups = 1
             self.out_channels = layer.out_features
             matrices = [quant.values.T]
-        else:  # pragma: no cover - guarded by validate_sequential
+        else:  # pragma: no cover - guarded by validate_supported
             raise EngineError(f"layer {inst.name!r} is not a compute layer")
 
         # noise scopes derive from the layer index, so noisy draws are
@@ -236,7 +265,8 @@ class NetworkExecutor:
     Parameters
     ----------
     network:
-        A sequential resolved network (branching topologies are rejected).
+        A resolved network graph — linear chains and branching DAGs
+        (ResNet residual joins, SqueezeNet fire concatenations) alike.
     ctx:
         The :class:`repro.context.SimContext` supplying architecture, noise
         and the seed for deterministic parameter generation.
@@ -270,7 +300,7 @@ class NetworkExecutor:
                 f"unknown engine backend {self.backend!r}; "
                 f"choose from: {ENGINE_BACKENDS}"
             )
-        validate_sequential(network)
+        validate_supported(network)
         self.params = params or NetworkParams(network, self.ctx.seed)
         self.mapping = self.ctx.map_network(network)
         self._compute: Dict[str, _MappedComputeLayer] = {
@@ -316,8 +346,21 @@ class NetworkExecutor:
         """The float reference output for ``x`` with this executor's weights."""
         return reference_forward(self.network, self.params, x)[0]
 
-    def run(self, x: Optional[np.ndarray] = None, validate: bool = True) -> ExecutionResult:
+    def run(
+        self,
+        x: Optional[np.ndarray] = None,
+        validate: bool = True,
+        free_activations: bool = True,
+    ) -> ExecutionResult:
         """Execute ``x`` (default: :meth:`random_input`) through the crossbars.
+
+        The network graph is walked in deterministic topological order; for
+        a linear chain that is exactly the declaration order, so sequential
+        models take the same numeric path as the flat executor always did.
+        An activation is freed as soon as its last consumer has run
+        (``free_activations=False`` keeps everything resident — the bench
+        uses it to pin the liveness memory win); the observed peak is
+        reported as ``peak_activation_bytes``.
 
         ``x`` may be a single ``(C, H, W)`` image or an ``(N, C, H, W)``
         batch; the output mirrors the input's batchedness.  With
@@ -344,42 +387,63 @@ class NetworkExecutor:
             # one batched float pass — not N separate Python-loop forwards
             ref_acts = reference_forward_batch(self.network, self.params, batch)[1]
 
-        acts = batch
+        order = self.network.topological_order()
+        output_name = self.network.output.name
+        # remaining-consumer counts per producer, straight from the graph's
+        # liveness map; duplicate edges (a node consuming one producer
+        # twice) count twice
+        pending: Dict[str, int] = {
+            name: len(dests) for name, dests in self.network.consumers().items()
+        }
+        live: Dict[str, np.ndarray] = {NETWORK_INPUT: batch}
+        peak_bytes = _live_buffer_bytes(live.values())
         traces: List[LayerTrace] = []
-        for inst in self.network:
+        for inst in order:
+            operands = [live[src] for src in inst.inputs]
             if inst.name in self._compute:
                 mapped = self._compute[inst.name]
-                acts = mapped.forward(acts, self.ctx.arch.input_bits)
+                out = mapped.forward(operands[0], self.ctx.arch.input_bits)
                 crossbars = mapped.crossbars
             else:
-                acts = apply_aux_batched(inst, acts, self.params)
+                out = apply_aux_batched(inst, operands, self.params)
                 crossbars = 0
-            # every batch slice shares acts.shape[1:], so checking one image
+            # every batch slice shares out.shape[1:], so checking one image
             # checks them all with the reference path's own shape logic
-            check_activation_shape(inst, acts[0])
+            check_activation_shape(inst, out[0])
             traces.append(
                 LayerTrace(
                     name=inst.name,
                     kind=inst.kind,
                     crossbars=crossbars,
                     rel_error=(
-                        relative_error(acts, ref_acts[inst.name])
+                        relative_error(out, ref_acts[inst.name])
                         if ref_acts is not None
                         else float("nan")
                     ),
                 )
             )
-        last_name = self.network[len(self.network) - 1].name
+            live[inst.name] = out
+            peak_bytes = max(peak_bytes, _live_buffer_bytes(live.values()))
+            if free_activations:
+                for src in set(inst.inputs):
+                    pending[src] -= inst.inputs.count(src)
+                    if pending[src] == 0 and src != output_name:
+                        del live[src]
+                if inst.name != output_name and pending[inst.name] == 0:
+                    # a node nothing consumes (and which is not the output)
+                    del live[inst.name]
+        output = live[output_name]
         reference = None
         if ref_acts is not None:
-            reference = ref_acts[last_name][0] if single else ref_acts[last_name]
+            reference = ref_acts[output_name][0] if single else ref_acts[output_name]
         return ExecutionResult(
             model=self.network.name,
             mode=self.mode,
             backend=self.backend,
-            output=acts[0] if single else acts,
+            output=output[0] if single else output,
             reference=reference,
             traces=traces,
+            peak_activation_bytes=peak_bytes,
         )
 
 

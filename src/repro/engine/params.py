@@ -8,9 +8,11 @@ scale/shift statistics for folded batch-norm), so an engine run is exactly
 reproducible from its :class:`repro.context.SimContext` seed and two runs
 with the same seed execute the same network.
 
-Per-layer generators are derived from ``(seed, layer_index)`` rather than a
-single shared stream, so inserting or reordering layers does not silently
-reshuffle every other layer's weights.
+Parameters are generated per graph node: each node's generator is derived
+from ``(seed, node_index)`` rather than a single shared stream, so
+inserting, reordering or re-wiring nodes does not silently reshuffle every
+other node's weights — a branch-merge refactor of a model keeps the
+untouched layers' parameters bit-identical.
 """
 
 from __future__ import annotations

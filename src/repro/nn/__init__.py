@@ -4,8 +4,9 @@ This package provides everything the accelerator models need to know about a
 CNN/DNN workload:
 
 * :mod:`repro.nn.layers` — layer descriptors and shape inference,
-* :mod:`repro.nn.network` — a resolved network (list of layer instances) and a
-  builder for constructing one,
+* :mod:`repro.nn.network` — a resolved network as a dataflow graph (layer
+  instances with explicit producer edges, deterministic topological
+  traversal, liveness information) and a builder with branch/merge helpers,
 * :mod:`repro.nn.models` — the benchmark model zoo used throughout the paper's
   evaluation (VGG-D, CNN-1, MLP-L, VGG-1/2/3/4, MSRA-1/2/3, ResNet-18/50/101/152,
   SqueezeNet),
@@ -18,6 +19,7 @@ CNN/DNN workload:
 
 from repro.nn.layers import (
     BatchNorm,
+    Concat,
     Conv2D,
     ElementwiseAdd,
     Flatten,
@@ -28,7 +30,13 @@ from repro.nn.layers import (
     ReLU,
     TensorShape,
 )
-from repro.nn.network import LayerInstance, Network, NetworkBuilder
+from repro.nn.network import (
+    NETWORK_INPUT,
+    GraphError,
+    LayerInstance,
+    Network,
+    NetworkBuilder,
+)
 from repro.nn.models import MODEL_ZOO, build_model, list_models
 from repro.nn.statistics import LayerStats, NetworkStats, layer_stats, network_stats
 
@@ -42,7 +50,10 @@ __all__ = [
     "BatchNorm",
     "Flatten",
     "ElementwiseAdd",
+    "Concat",
     "GlobalAvgPool",
+    "NETWORK_INPUT",
+    "GraphError",
     "LayerInstance",
     "Network",
     "NetworkBuilder",

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Sequence, Union
 
 
 @dataclass(frozen=True)
@@ -100,9 +100,35 @@ class Layer:
     #: short lowercase identifier of the layer kind ("conv", "fc", ...)
     kind: str = "layer"
 
+    #: producer arity of a graph node of this kind; ``max_inputs=None``
+    #: means unbounded (merge layers such as add / concat)
+    min_inputs: int = 1
+    max_inputs: Optional[int] = 1
+
     def output_shape(self, input_shape: TensorShape) -> TensorShape:
         """Shape produced when the layer is applied to ``input_shape``."""
         raise NotImplementedError
+
+    def check_arity(self, n_inputs: int) -> None:
+        """Raise if the layer cannot consume ``n_inputs`` producers."""
+        too_few = n_inputs < self.min_inputs
+        too_many = self.max_inputs is not None and n_inputs > self.max_inputs
+        if too_few or too_many:
+            if self.max_inputs is None:
+                expected = f"at least {self.min_inputs}"
+            elif self.min_inputs == self.max_inputs:
+                expected = str(self.min_inputs)
+            else:
+                expected = f"{self.min_inputs}..{self.max_inputs}"
+            raise ValueError(
+                f"layer {self.name!r} ({self.kind}) expects {expected} "
+                f"input(s), got {n_inputs}"
+            )
+
+    def resolve_shape(self, input_shapes: Sequence[TensorShape]) -> TensorShape:
+        """Output shape from the (ordered) producer shapes of a graph node."""
+        self.check_arity(len(input_shapes))
+        return self.output_shape(input_shapes[0])
 
     def macs(self, input_shape: TensorShape) -> int:
         """Number of multiply-accumulate operations for one inference."""
@@ -316,11 +342,55 @@ class Flatten(Layer):
 
 @dataclass(frozen=True)
 class ElementwiseAdd(Layer):
-    """Residual addition (shape preserving, no weights)."""
+    """Residual addition: sums two or more equal-shaped producers."""
 
     name: str
 
     kind = "add"
+    min_inputs = 2
+    max_inputs = None
 
     def output_shape(self, input_shape: TensorShape) -> TensorShape:
         return input_shape
+
+    def resolve_shape(self, input_shapes: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(len(input_shapes))
+        first = input_shapes[0]
+        for shape in input_shapes[1:]:
+            if shape != first:
+                raise ValueError(
+                    f"layer {self.name!r} (add) merges mismatched shapes: "
+                    f"{', '.join(str(s) for s in input_shapes)}"
+                )
+        return first
+
+
+@dataclass(frozen=True)
+class Concat(Layer):
+    """Channel-wise concatenation of two or more producers.
+
+    The SqueezeNet fire module's expand-branch join.  Inputs must agree on
+    the spatial extent (or all be flat vectors); the output channel count is
+    the sum of the input channel counts.  No MACs, no weights — a pure
+    data-movement node.
+    """
+
+    name: str
+
+    kind = "concat"
+    min_inputs = 2
+    max_inputs = None
+
+    def resolve_shape(self, input_shapes: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(len(input_shapes))
+        first = input_shapes[0]
+        for shape in input_shapes[1:]:
+            if (shape.height, shape.width) != (first.height, first.width):
+                raise ValueError(
+                    f"layer {self.name!r} (concat) requires equal spatial "
+                    "extents, got "
+                    f"{', '.join(str(s) for s in input_shapes)}"
+                )
+        return TensorShape(
+            sum(shape.channels for shape in input_shapes), first.height, first.width
+        )

@@ -20,8 +20,10 @@ The model definitions follow the original publications:
 * ``cnn_1`` and ``mlp_l`` are PRIME's MNIST benchmarks (a LeNet-5-style CNN
   and the 784-1500-1000-500-10 MLP).
 * ``tiny_cnn`` and ``tiny_mlp`` are small, fast models used by the examples,
-  tests and the accuracy study; they are not part of the paper's benchmark
-  set.
+  tests and the accuracy study; ``resnet_smoke`` (truncated ResNet stem +
+  one residual block) and ``bottleneck_smoke`` (three chained bottleneck
+  blocks) are small *branching* models used by the CI engine smoke and the
+  liveness-memory bench.  None of these four are paper benchmarks.
 
 All ImageNet models take a 3x224x224 input; MNIST models take 1x28x28.
 """
@@ -152,26 +154,29 @@ def _resnet_basic_block(
     builder: NetworkBuilder, block_name: str, channels: int, stride: int
 ) -> None:
     """A 2-conv basic residual block (ResNet-18/34)."""
-    entry_shape = builder.current_shape
+    entry = builder.branch()
+    entry_channels = builder.current_shape.channels
     builder.conv(channels, 3, stride=stride, name=f"{block_name}_conv1", bias=False)
     builder.batch_norm().relu()
     builder.conv(channels, 3, name=f"{block_name}_conv2", bias=False)
     builder.batch_norm()
-    main_shape = builder.current_shape
-    needs_projection = stride != 1 or entry_shape.channels != channels
-    if needs_projection:
-        builder.at(entry_shape)
+    main = builder.branch()
+    shortcut = entry
+    if stride != 1 or entry_channels != channels:
+        builder.resume(entry)
         builder.conv(channels, 1, stride=stride, name=f"{block_name}_proj", bias=False)
         builder.batch_norm()
-    builder.at(main_shape)
-    builder.add(name=f"{block_name}_add").relu()
+        shortcut = builder.branch()
+    builder.resume(main)
+    builder.add(shortcut, name=f"{block_name}_add").relu()
 
 
 def _resnet_bottleneck_block(
     builder: NetworkBuilder, block_name: str, channels: int, stride: int
 ) -> None:
     """A 3-conv bottleneck residual block (ResNet-50/101/152)."""
-    entry_shape = builder.current_shape
+    entry = builder.branch()
+    entry_channels = builder.current_shape.channels
     expanded = channels * 4
     builder.conv(channels, 1, name=f"{block_name}_conv1", bias=False)
     builder.batch_norm().relu()
@@ -179,14 +184,15 @@ def _resnet_bottleneck_block(
     builder.batch_norm().relu()
     builder.conv(expanded, 1, name=f"{block_name}_conv3", bias=False)
     builder.batch_norm()
-    main_shape = builder.current_shape
-    needs_projection = stride != 1 or entry_shape.channels != expanded
-    if needs_projection:
-        builder.at(entry_shape)
+    main = builder.branch()
+    shortcut = entry
+    if stride != 1 or entry_channels != expanded:
+        builder.resume(entry)
         builder.conv(expanded, 1, stride=stride, name=f"{block_name}_proj", bias=False)
         builder.batch_norm()
-    builder.at(main_shape)
-    builder.add(name=f"{block_name}_add").relu()
+        shortcut = builder.branch()
+    builder.resume(main)
+    builder.add(shortcut, name=f"{block_name}_add").relu()
 
 
 def _resnet(name: str, block_counts: Sequence[int], bottleneck: bool) -> Network:
@@ -234,15 +240,16 @@ def _fire_module(
 ) -> None:
     """SqueezeNet fire module: squeeze 1x1 -> parallel expand 1x1 / 3x3 -> concat."""
     builder.conv(squeeze, 1, name=f"{name}_squeeze")
-    builder.relu()
-    squeeze_shape = builder.current_shape
+    builder.relu(name=f"{name}_squeeze_relu")
+    squeezed = builder.branch()
     builder.conv(expand1, 1, name=f"{name}_expand1x1")
-    builder.relu()
-    builder.at(squeeze_shape)
+    builder.relu(name=f"{name}_expand1x1_relu")
+    expand1x1 = builder.branch()
+    builder.resume(squeezed)
     builder.conv(expand3, 3, name=f"{name}_expand3x3")
-    builder.relu()
-    spatial = builder.current_shape
-    builder.at(TensorShape(expand1 + expand3, spatial.height, spatial.width))
+    builder.relu(name=f"{name}_expand3x3_relu")
+    expand3x3 = builder.branch()
+    builder.concat([expand1x1, expand3x3], name=f"{name}_concat")
 
 
 def squeezenet() -> Network:
@@ -317,6 +324,41 @@ def tiny_mlp() -> Network:
     return builder.build()
 
 
+def resnet_smoke() -> Network:
+    """A truncated ResNet stem plus one strided basic block (CI engine smoke).
+
+    The 3x64x64 input keeps the analog engine run in CI-friendly territory
+    while the stride-2 / channel-doubling block exercises the projection
+    branch, the two-input residual add and folded batch-norms — the graph
+    features the full ResNets rely on.  Not a paper benchmark.
+    """
+    builder = NetworkBuilder("resnet_smoke", TensorShape(3, 64, 64))
+    builder.conv(64, 7, stride=2, name="conv1", bias=False)
+    builder.batch_norm().relu()
+    builder.pool(3, stride=2, padding=1, name="pool1")
+    _resnet_basic_block(builder, "block1", 128, 2)
+    builder.global_avg_pool(name="gap")
+    builder.fc(10, name="fc")
+    return builder.build()
+
+
+def bottleneck_smoke() -> Network:
+    """Three chained bottleneck residual blocks (liveness-memory bench model).
+
+    Each block keeps its wide 256-channel entry activation alive across the
+    whole bottleneck body for the residual add, so executing the chain
+    without liveness-based freeing accumulates every intermediate — the
+    model pins the peak-activation-memory win of the graph executor.  Not a
+    paper benchmark.
+    """
+    builder = NetworkBuilder("bottleneck_smoke", TensorShape(64, 32, 32))
+    for i in range(3):
+        _resnet_bottleneck_block(builder, f"block{i + 1}", 64, 1)
+    builder.global_avg_pool(name="gap")
+    builder.fc(10, name="fc")
+    return builder.build()
+
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
@@ -339,6 +381,8 @@ MODEL_ZOO: Dict[str, Callable[[], Network]] = {
     "mlp_l": mlp_l,
     "tiny_cnn": tiny_cnn,
     "tiny_mlp": tiny_mlp,
+    "resnet_smoke": resnet_smoke,
+    "bottleneck_smoke": bottleneck_smoke,
 }
 
 #: The 15 benchmarks listed in Table III of the paper.

@@ -14,8 +14,10 @@ Four subcommands share one :class:`repro.context.SimContext`:
   trial x cell-bits x backend) grid through a resumable process-pool sweep
   (:mod:`repro.sweep`), reduced to mean/p95 relative error per noise scale;
 * ``bench`` — the tracked performance smoke: vgg_d estimation plus a cnn_1
-  engine run, the im2col micro-benchmark and a small sweep (trials/sec,
-  parallel speedup), written to a JSON artifact.
+  engine run, the im2col micro-benchmark, a small sweep (trials/sec,
+  parallel speedup), a branching-topology engine smoke (residual block,
+  analog, validated) and the liveness-freeing peak-memory comparison,
+  written to a JSON artifact.
 """
 
 from __future__ import annotations
@@ -182,8 +184,9 @@ def build_bench_parser() -> argparse.ArgumentParser:
         description=(
             "Performance smoke: time the vgg_d estimator, a cnn_1 engine run "
             "on both execution backends (packed vs legacy tiled, with peak "
-            "memory) and the im2col kernel, and write the numbers to a JSON "
-            "artifact at the repository root."
+            "memory) and the im2col kernel, run a branching-model engine "
+            "smoke and the liveness-freeing memory comparison, and write the "
+            "numbers to a JSON artifact at the repository root."
         ),
     )
     parser.add_argument(
@@ -220,6 +223,25 @@ def build_bench_parser() -> argparse.ArgumentParser:
         default=2,
         metavar="N",
         help="worker count of the parallel leg of the sweep smoke (default: 2)",
+    )
+    parser.add_argument(
+        "--branching-model",
+        default="resnet_smoke",
+        metavar="MODEL",
+        help=(
+            "branching-topology engine smoke: a validated analog run of a "
+            "DAG model (default: resnet_smoke — truncated ResNet stem + one "
+            "residual block)"
+        ),
+    )
+    parser.add_argument(
+        "--liveness-model",
+        default="bottleneck_smoke",
+        metavar="MODEL",
+        help=(
+            "model of the liveness-freeing memory comparison: peak live "
+            "activations with vs without freeing (default: bottleneck_smoke)"
+        ),
     )
     return parser
 
@@ -648,8 +670,14 @@ def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
-def _timed_engine_run(network, ctx, backend: str, x, repeats: int = 5) -> dict:
+def _timed_engine_run(
+    network, ctx, backend: str, x, repeats: int = 5, with_rel_error: bool = False
+) -> dict:
     """Engine timing (programming and execution separately) plus peak memory.
+
+    With ``with_rel_error`` one additional validated run records the
+    end-to-end relative error against the float reference (kept out of the
+    timed runs — the double-compute would hide the engine timing).
 
     Weights are programmed **once** (no second construction just for the
     memory figure, which used to double the ~29 s vgg_d programming cost):
@@ -679,13 +707,16 @@ def _timed_engine_run(network, ctx, backend: str, x, repeats: int = 5) -> dict:
         start = time.perf_counter()
         executor.run(x, validate=False)
         best = min(best, time.perf_counter() - start)
-    return {
+    timing = {
         "elapsed_s": best,
         "program_s": program_s,
         "peak_mb": peak / 1e6,
         "programmed_mb": executor.programmed_bytes / 1e6,
         "crossbars": executor.crossbars,
     }
+    if with_rel_error:
+        timing["rel_error"] = executor.run(x).rel_error
+    return timing
 
 
 def main_bench(argv: Optional[Sequence[str]] = None) -> int:
@@ -700,6 +731,8 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
     try:
         estimator_net = _load_model(args.estimator_model)
         engine_net = _load_model(args.engine_model)
+        branching_net = _load_model(args.branching_model)
+        liveness_net = _load_model(args.liveness_model)
         deep_net = _load_model(args.deep_model) if args.deep_model else None
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
@@ -778,6 +811,32 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         "parallel_speedup": serial.elapsed_s / pooled.elapsed_s,
     }
 
+    # 6. branching-topology engine smoke: a DAG model (residual add +
+    # projection branch) timed with the same methodology as the backend
+    # comparison, plus one validated run for the rel-error figure
+    branching = {
+        "model": args.branching_model,
+        "mode": "analog",
+        "backend": ctx.backend,
+        **_timed_engine_run(
+            branching_net, ctx, ctx.backend, None, repeats=3, with_rel_error=True
+        ),
+    }
+
+    # 7. liveness-based activation freeing: peak live activation bytes of
+    # the graph executor with freeing on vs off (same run otherwise)
+    liveness_exec = NetworkExecutor(liveness_net, ctx, mode="ideal")
+    liveness_batch = liveness_exec.random_batch(2)
+    freed = liveness_exec.run(liveness_batch, validate=False, free_activations=True)
+    kept = liveness_exec.run(liveness_batch, validate=False, free_activations=False)
+    liveness = {
+        "model": args.liveness_model,
+        "batch": 2,
+        "freed_peak_mb": freed.peak_activation_bytes / 1e6,
+        "unfreed_peak_mb": kept.peak_activation_bytes / 1e6,
+        "reduction": kept.peak_activation_bytes / freed.peak_activation_bytes,
+    }
+
     doc = {
         "estimator": {
             "model": args.estimator_model,
@@ -809,6 +868,8 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
             "speedup": loop_elapsed / vectorized_elapsed,
         },
         "sweep": sweep,
+        "branching": branching,
+        "liveness": liveness,
         "deep_engine": deep,
     }
     with open(output, "w") as handle:
@@ -828,6 +889,18 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         f"{doc['engine']['speedup']:.1f}x, rel error {result.rel_error:.2e}"
     )
     print(f"  im2col: {doc['im2col']['speedup']:.0f}x vs loop")
+    print(
+        f"  branching ({branching['model']}): rel error "
+        f"{branching['rel_error']:.2e}, forward {branching['elapsed_s']:.3f}s "
+        f"(+{branching['program_s']:.2f}s programming, "
+        f"{branching['crossbars']} crossbars)"
+    )
+    print(
+        f"  liveness ({liveness['model']}, batch {liveness['batch']}): "
+        f"peak {liveness['freed_peak_mb']:.1f} MB freed vs "
+        f"{liveness['unfreed_peak_mb']:.1f} MB kept "
+        f"({liveness['reduction']:.1f}x reduction)"
+    )
     print(
         f"  sweep ({sweep['model']}, {sweep['trials']} trials): "
         f"{sweep['serial_trials_per_sec']:.1f} trials/s serial, "

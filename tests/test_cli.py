@@ -167,10 +167,13 @@ def test_run_unknown_model_exits_2(capsys):
     assert "unknown model" in capsys.readouterr().err
 
 
-def test_run_branching_model_exits_2_with_engine_message(capsys):
-    assert cli.main(["run", "--model", "resnet_18"]) == 2
-    err = capsys.readouterr().err
-    assert "engine cannot run" in err
+def test_run_branching_model_succeeds(capsys):
+    """Branching topologies execute through the CLI (graph-IR engine)."""
+    assert cli.main(["run", "--model", "resnet_smoke", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["rel_error"] < 5e-2
+    names = [layer["name"] for layer in doc["layers"]]
+    assert "block1_add" in names and "block1_proj" in names
 
 
 def test_run_negative_noise_exits_2(capsys):

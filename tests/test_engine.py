@@ -153,9 +153,12 @@ def test_engine_noise_injection_degrades_but_does_not_explode():
     assert noisy.rel_error < 1.0
 
 
-def test_engine_rejects_branching_networks():
-    with pytest.raises(EngineError):
-        NetworkExecutor(build_model("resnet_18"), SimContext())
+def test_engine_executes_branching_networks():
+    """The graph executor runs residual topologies end to end (the full
+    resnet_18/squeezenet runs are covered by the graph-IR test module and
+    the CLI smoke; the truncated stem+block model keeps this fast)."""
+    result = run_network(build_model("resnet_smoke"), SimContext(arch=ISAAC_PRECISION))
+    assert result.rel_error < 1e-2
 
 
 def test_engine_rejects_negative_inputs():

@@ -24,6 +24,8 @@ EXPECTED_OUTPUTS = {
     "mlp_l": 10,
     "tiny_cnn": 4,
     "tiny_mlp": 4,
+    "resnet_smoke": 10,
+    "bottleneck_smoke": 10,
 }
 
 
