@@ -12,7 +12,12 @@ pipeline and the ``run`` subcommand of ``python -m repro.sim`` for the CLI.
 * :mod:`repro.engine.tiles` — legacy per-tile programming and read-out,
 * :mod:`repro.engine.packed` — packed per-slice vectorized execution
   (the default backend; one batched matmul per layer slice),
-* :mod:`repro.engine.executor` — the whole-network orchestrator.
+* :mod:`repro.engine.state` — the programmed-chip artifact
+  (:class:`ProgrammedState`): save/load/mmap, content keys and the
+  LRU + on-disk :class:`ProgrammedStateCache`,
+* :mod:`repro.engine.executor` — the whole-network orchestrator, split
+  into a one-time :func:`program` phase and cheap
+  :meth:`NetworkExecutor.from_state` wiring.
 
 All of it is driven by one :class:`repro.context.SimContext`; the
 ``backend`` field (or the executor's ``backend`` argument) selects between
@@ -24,6 +29,7 @@ from repro.engine.executor import (
     ExecutionResult,
     LayerTrace,
     NetworkExecutor,
+    program,
     relative_error,
     run_network,
 )
@@ -35,15 +41,26 @@ from repro.engine.reference import (
     validate_sequential,
     validate_supported,
 )
+from repro.engine.state import (
+    LayerState,
+    ProgrammedState,
+    ProgrammedStateCache,
+    state_key,
+)
 from repro.engine.tiles import TiledMatmul
 
 __all__ = [
     "EngineError",
     "ExecutionResult",
     "LayerTrace",
+    "LayerState",
     "NetworkExecutor",
+    "ProgrammedState",
+    "ProgrammedStateCache",
+    "program",
     "run_network",
     "relative_error",
+    "state_key",
     "LayerParams",
     "NetworkParams",
     "PackedMatmul",

@@ -47,8 +47,9 @@ import numpy as np
 
 from repro.context import ENGINE_BACKENDS, SimContext
 from repro.engine.errors import EngineError
-from repro.engine.packed import PackedMatmul
+from repro.engine.packed import PackedMatmul, pack_weights
 from repro.engine.params import NetworkParams
+from repro.engine.state import LayerState, ProgrammedState
 from repro.engine.reference import (
     apply_aux_batched,
     check_activation_shape,
@@ -140,59 +141,177 @@ class ExecutionResult:
         return {trace.name: trace for trace in self.traces}
 
 
+def program_layer(
+    inst: LayerInstance,
+    params: NetworkParams,
+    arch,
+    mode: str,
+    backend: str,
+) -> LayerState:
+    """Program one conv/FC layer: the expensive, noise-free phase.
+
+    Quantises the layer's weights per output channel, lays them out as the
+    backend's im2col matmul matrices and — for the packed backend — runs the
+    offset-encode/bit-slice packing of :func:`repro.engine.packed.pack_weights`.
+    The result is a plain-array :class:`~repro.engine.state.LayerState` that
+    saves, memory-maps and ships across processes; wiring it back into an
+    executable layer (:class:`_MappedComputeLayer`) is cheap.
+    """
+    layer = inst.layer
+    p = params[inst.name]
+    # Per-output-channel scales: every output channel owns its crossbar
+    # column(s), and the TDC read-out is dequantised digitally, so each
+    # channel can use the full integer range.
+    quant = quantize_symmetric_per_channel(p.weights, arch.weight_bits)
+    if isinstance(layer, Conv2D):
+        kind = "conv"
+        stride, pad, kernel = layer.stride, conv_padding(layer), layer.kernel_h
+        n_groups, out_channels = layer.groups, layer.out_channels
+        group_out = layer.out_channels // layer.groups
+        matrices = [
+            quant.values[g * group_out : (g + 1) * group_out].reshape(group_out, -1).T
+            for g in range(layer.groups)
+        ]  # each (C/g*Z*G, D/g)
+    elif isinstance(layer, FullyConnected):
+        kind = "fc"
+        stride = pad = kernel = 0
+        n_groups, out_channels = 1, layer.out_features
+        matrices = [quant.values.T]
+    else:  # pragma: no cover - guarded by validate_supported
+        raise EngineError(f"layer {inst.name!r} is not a compute layer")
+
+    # all groups stacked on one leading axis: (groups, rows, group_cols)
+    q = np.stack(matrices).astype(np.int64, copy=False)
+    state = LayerState(
+        name=inst.name,
+        index=inst.index,
+        kind=kind,
+        out_channels=out_channels,
+        n_groups=n_groups,
+        w_scales=quant.scales,
+        bias=p.bias,
+        stride=stride,
+        pad=pad,
+        kernel=kernel,
+    )
+    if backend == "packed":
+        state.encoded, state.conductances = pack_weights(q, arch, mode)
+    else:
+        # the legacy tiled backend re-programs its per-crossbar objects from
+        # the quantised weights on wiring (deterministic, so bit-identical)
+        state.q = q
+    return state
+
+
+def program(
+    network: Network,
+    ctx: Optional[SimContext] = None,
+    mode: str = "analog",
+    params: Optional[NetworkParams] = None,
+    backend: Optional[str] = None,
+) -> ProgrammedState:
+    """Program a network's weights onto crossbars: the one-time phase.
+
+    Quantises, lays out and (for the packed backend) bit-slices every
+    conv/FC layer into a :class:`~repro.engine.state.ProgrammedState` —
+    the artifact the paper's economics revolve around: built once, then
+    executed many times via :meth:`NetworkExecutor.from_state`, saved to
+    disk, or shared across processes.  The state is noise-free (base
+    conductances); programming variation, which varies per Monte-Carlo
+    trial, is applied at wiring time from the trial's noise streams.
+    """
+    if mode not in MODES:
+        raise EngineError(f"unknown engine mode {mode!r}; choose from: {MODES}")
+    ctx = ctx or SimContext()
+    backend = backend if backend is not None else ctx.backend
+    if backend not in ENGINE_BACKENDS:
+        raise EngineError(
+            f"unknown engine backend {backend!r}; choose from: {ENGINE_BACKENDS}"
+        )
+    validate_supported(network)
+    params = params or NetworkParams(network, ctx.seed)
+    layers = [
+        program_layer(inst, params, ctx.arch, mode, backend)
+        for inst in network.compute_instances
+    ]
+    return ProgrammedState(
+        model=network.name,
+        mode=mode,
+        backend=backend,
+        seed=ctx.seed,
+        arch=ctx.arch,
+        layers=layers,
+    )
+
+
+def _check_state(
+    state: ProgrammedState,
+    network: Network,
+    ctx: SimContext,
+    mode: str,
+    backend: str,
+) -> None:
+    """Reject a programmed state that does not match the execution request.
+
+    A mismatched state would silently execute the wrong chip: different
+    weights (model/seed), different conductance grid (arch), or tensors
+    laid out for the other backend.  Each is a hard error.
+    """
+    mismatches = []
+    if state.model != network.name:
+        mismatches.append(f"model {state.model!r} != {network.name!r}")
+    if state.mode != mode:
+        mismatches.append(f"mode {state.mode!r} != {mode!r}")
+    if state.backend != backend:
+        mismatches.append(f"backend {state.backend!r} != {backend!r}")
+    if state.seed != ctx.seed:
+        mismatches.append(f"seed {state.seed} != {ctx.seed}")
+    if state.arch != ctx.arch:
+        mismatches.append(f"arch {state.arch} != {ctx.arch}")
+    if not mismatches:
+        expected = [inst.name for inst in network.compute_instances]
+        got = [ls.name for ls in state.layers]
+        if got != expected:
+            mismatches.append(f"layers {got} != {expected}")
+    if mismatches:
+        raise EngineError(
+            "programmed state does not match this execution request: "
+            + "; ".join(mismatches)
+        )
+
+
 class _MappedComputeLayer:
-    """One conv/FC layer programmed onto crossbars (all groups, one backend)."""
+    """One conv/FC layer wired for execution from its programmed state."""
 
     def __init__(
         self,
-        inst: LayerInstance,
-        params: NetworkParams,
+        state: LayerState,
         ctx: SimContext,
         mode: str,
         backend: str,
     ):
-        self.inst = inst
         self.backend = backend
-        layer = inst.layer
-        p = params[inst.name]
-        # Per-output-channel scales: every output channel owns its crossbar
-        # column(s), and the TDC read-out is dequantised digitally, so each
-        # channel can use the full integer range.
-        quant = quantize_symmetric_per_channel(p.weights, ctx.arch.weight_bits)
-        self.w_scales = quant.scales  # (out_channels,)
-        self.bias = p.bias
-        if isinstance(layer, Conv2D):
-            self.kind = "conv"
-            self.stride = layer.stride
-            self.pad = conv_padding(layer)
-            self.kernel = layer.kernel_h
-            self.n_groups = layer.groups
-            self.out_channels = layer.out_channels
-            group_out = layer.out_channels // layer.groups
-            matrices = [
-                quant.values[g * group_out : (g + 1) * group_out].reshape(group_out, -1).T
-                for g in range(layer.groups)
-            ]  # each (C/g*Z*G, D/g)
-        elif isinstance(layer, FullyConnected):
-            self.kind = "fc"
-            self.n_groups = 1
-            self.out_channels = layer.out_features
-            matrices = [quant.values.T]
-        else:  # pragma: no cover - guarded by validate_supported
-            raise EngineError(f"layer {inst.name!r} is not a compute layer")
-
+        self.name = state.name
+        self.kind = state.kind
+        self.w_scales = state.w_scales  # (out_channels,)
+        self.bias = state.bias
+        self.stride = state.stride
+        self.pad = state.pad
+        self.kernel = state.kernel
+        self.n_groups = state.n_groups
+        self.out_channels = state.out_channels
         # noise scopes derive from the layer index, so noisy draws are
         # independent of how many executors were constructed before this one
         if backend == "packed":
-            # all groups of the layer in one packed matmul (stacked axis)
-            stacked = matrices[0] if self.n_groups == 1 else np.stack(matrices)
-            self._packed = PackedMatmul(stacked, ctx, mode, salt=inst.index)
+            self._packed = PackedMatmul.from_packed(
+                state.encoded, state.conductances, ctx, mode, salt=state.index
+            )
             self._groups: List[TiledMatmul] = []
         else:
             self._packed = None
             self._groups = [
-                TiledMatmul(matrix, ctx, mode, salt=(inst.index, g))
-                for g, matrix in enumerate(matrices)
+                TiledMatmul(state.q[g], ctx, mode, salt=(state.index, g))
+                for g in range(state.n_groups)
             ]
 
     @property
@@ -234,7 +353,7 @@ class _MappedComputeLayer:
             values, in_scales = quantize_unsigned_batch(acts, input_bits)
         except ValueError as exc:  # negative activations
             raise EngineError(
-                f"layer {self.inst.name!r} received negative inputs; the "
+                f"layer {self.name!r} received negative inputs; the "
                 "time-domain engine encodes activations as unsigned "
                 "(post-ReLU) codes"
             ) from exc
@@ -279,6 +398,14 @@ class NetworkExecutor:
     backend:
         ``"packed"`` (vectorized per-slice tensors) or ``"tiled"`` (legacy
         per-crossbar objects); defaults to the context's ``backend`` field.
+    state:
+        Optional pre-programmed :class:`~repro.engine.state.ProgrammedState`
+        (e.g. from a :class:`~repro.engine.state.ProgrammedStateCache`); the
+        expensive programming phase is then skipped and the executor is
+        wired straight from the stored tensors — bit-for-bit identical
+        outputs, noise included.  Without it, the constructor programs the
+        network itself (the historical one-shot behaviour, now a thin
+        compose of :func:`program` and the wiring step).
     """
 
     def __init__(
@@ -288,6 +415,7 @@ class NetworkExecutor:
         mode: str = "analog",
         params: Optional[NetworkParams] = None,
         backend: Optional[str] = None,
+        state: Optional[ProgrammedState] = None,
     ):
         if mode not in MODES:
             raise EngineError(f"unknown engine mode {mode!r}; choose from: {MODES}")
@@ -303,12 +431,48 @@ class NetworkExecutor:
         validate_supported(network)
         self.params = params or NetworkParams(network, self.ctx.seed)
         self.mapping = self.ctx.map_network(network)
-        self._compute: Dict[str, _MappedComputeLayer] = {
-            inst.name: _MappedComputeLayer(
-                inst, self.params, self.ctx, mode, self.backend
+        if state is None:
+            state = program(
+                network, self.ctx, mode, params=self.params, backend=self.backend
             )
-            for inst in network.compute_instances
+        else:
+            _check_state(state, network, self.ctx, mode, self.backend)
+        self.state = state
+        self._compute: Dict[str, _MappedComputeLayer] = {
+            ls.name: _MappedComputeLayer(ls, self.ctx, mode, self.backend)
+            for ls in state.layers
         }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: ProgrammedState,
+        network: Optional[Network] = None,
+        ctx: Optional[SimContext] = None,
+        params: Optional[NetworkParams] = None,
+    ) -> "NetworkExecutor":
+        """Wire an executor from a programmed state, skipping programming.
+
+        ``network`` defaults to rebuilding the state's model from the zoo;
+        ``ctx`` defaults to a noise-free context matching the state (pass
+        one with a noise model to apply per-trial programming variation on
+        top of the stored base conductances — the Monte-Carlo path).  The
+        context's architecture, seed and backend must match the state's.
+        """
+        if network is None:
+            from repro.nn.models import build_model
+
+            network = build_model(state.model)
+        if ctx is None:
+            ctx = SimContext(arch=state.arch, seed=state.seed, backend=state.backend)
+        return cls(
+            network,
+            ctx,
+            state.mode,
+            params=params,
+            backend=state.backend,
+            state=state,
+        )
 
     @property
     def crossbars(self) -> int:

@@ -43,17 +43,88 @@ constructed first.
 from __future__ import annotations
 
 import math
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.circuits.timing import TimeDomainChainSpec
-from repro.context import SimContext
+from repro.context import ArchSpec, SimContext
 from repro.engine.errors import EngineError
 from repro.engine.tiles import MODES
 
 #: float64 integer matmuls are exact below this product-sum magnitude
 _EXACT_FLOAT_BOUND = float(2 ** 53)
+
+
+def _flat_memory_view(a: np.ndarray) -> Optional[np.ndarray]:
+    """A 1-D view of ``a`` in its own memory order, or ``None`` if strided."""
+    if a.flags["C_CONTIGUOUS"]:
+        return a.reshape(-1)
+    if a.flags["F_CONTIGUOUS"]:
+        return a.T.reshape(-1)
+    return None
+
+
+def _like(result: np.ndarray, template: np.ndarray) -> np.ndarray:
+    """Reshape a flat ufunc result back to ``template``'s shape and layout."""
+    if result.shape == template.shape:  # strided fallback: nothing to undo
+        return result
+    if template.flags["C_CONTIGUOUS"]:
+        return result.reshape(template.shape)
+    return result.reshape(template.shape[::-1]).T
+
+
+def pack_weights(
+    q: np.ndarray, arch: ArchSpec, mode: str
+) -> Tuple[Optional[np.ndarray], List[np.ndarray]]:
+    """The expensive, noise-free half of packed programming.
+
+    Offset-encodes the ``(groups, rows, group_cols)`` signed quantised
+    weights and, in ``"analog"`` mode, bit-slices them into the per-slice
+    *base* conductance tensors (no programming variation — that is applied
+    per executor, so one packed payload serves every noise realisation).
+    Returns ``(encoded, conductances)``: exactly one is populated —
+    ``encoded`` for ``"ideal"`` mode, the conductance list for ``"analog"``.
+
+    This is the payload :class:`repro.engine.state.ProgrammedState` snapshots
+    and :meth:`PackedMatmul.from_packed` rewires without recomputation.
+
+    The elementwise passes run on a **flat memory-order view** of the
+    stack.  ``q`` arrives Fortran-ordered (a stack of ``.T`` im2col
+    matrices), and ufunc loops over such 3-D stacks degrade badly — tens
+    of seconds per vgg_d FC layer, ~20x the sequential-walk cost — because
+    the dimension with the huge stride defeats the iterator's loop
+    coalescing.  A 1-D view walks the same bytes sequentially, and
+    reshaping the results back **in the same order** reproduces the exact
+    bytes *and* the exact layout of the direct computation — layout
+    matters downstream, because BLAS picks summation paths by operand
+    memory order.
+    """
+    flat = _flat_memory_view(q)
+    if flat is None:  # non-contiguous input: direct (strided) fallback
+        flat = q
+    offset = 2 ** (arch.weight_bits - 1)
+    encoded_flat = flat + offset  # unsigned levels, memory order
+    encoded = _like(encoded_flat, q)  # (G, R, C)
+    if mode == "ideal":
+        # The ideal read-out is linear, so the slice cascade recombines
+        # back into the encoded matrix and one matmul suffices.
+        return np.ascontiguousarray(encoded, dtype=np.float64), []
+    cell = arch.cell_spec()
+    mask = 2 ** arch.cell_bits - 1
+    conductances: List[np.ndarray] = []
+    for s in range(arch.cols_per_weight):
+        levels = (encoded_flat >> (arch.cell_bits * s)) & mask
+        # same map as ReRAMCellSpec.weight_to_conductance, without the
+        # range scan (the mask guarantees valid levels) and with in-place
+        # scaling so deep models don't pay an extra weights-sized
+        # temporary per slice
+        slice_conductances = levels.astype(np.float64)
+        del levels
+        slice_conductances *= cell.g_step_s
+        slice_conductances += cell.g_min_s
+        conductances.append(_like(slice_conductances, q))
+    return None, conductances
 
 
 class PackedMatmul:
@@ -103,14 +174,59 @@ class PackedMatmul:
                 f"quantised weights must lie in [{-qmax}, {qmax}] for "
                 f"{arch.weight_bits}-bit symmetric quantisation"
             )
+        encoded, conductances = pack_weights(q, arch, mode)
+        self._wire(encoded, conductances, ctx, mode, salt)
 
+    @classmethod
+    def from_packed(
+        cls,
+        encoded: Optional[np.ndarray],
+        conductances: List[np.ndarray],
+        ctx: SimContext,
+        mode: str = "analog",
+        salt: Union[int, tuple] = 0,
+    ) -> "PackedMatmul":
+        """Wire a matmul from a pre-packed payload, skipping programming.
+
+        ``(encoded, conductances)`` is a :func:`pack_weights` result (e.g.
+        loaded from a :class:`repro.engine.state.ProgrammedState`, possibly
+        memory-mapped).  With noise enabled, per-trial programming variation
+        is applied here on copies of the base tensors — the same seed-stable
+        draws the one-shot constructor makes, so outputs are bit-identical;
+        the payload itself is never mutated, so a cached state can be shared
+        by any number of executors.
+        """
+        if mode not in MODES:
+            raise EngineError(f"unknown engine mode {mode!r}; choose from: {MODES}")
+        if mode == "ideal":
+            if encoded is None:
+                raise EngineError("ideal-mode packed state is missing its encoded matrix")
+        elif len(conductances) != ctx.arch.cols_per_weight:
+            raise EngineError(
+                f"analog packed state holds {len(conductances)} slice tensors; "
+                f"this architecture needs {ctx.arch.cols_per_weight}"
+            )
+        matmul = cls.__new__(cls)
+        matmul._wire(encoded, conductances, ctx, mode, salt)
+        return matmul
+
+    def _wire(
+        self,
+        encoded: Optional[np.ndarray],
+        conductances: List[np.ndarray],
+        ctx: SimContext,
+        mode: str,
+        salt: Union[int, tuple],
+    ) -> None:
+        """Cheap construction from a packed payload (geometry + noise scopes)."""
+        arch = ctx.arch
+        shape = encoded.shape if encoded is not None else conductances[0].shape
         self.ctx = ctx
         self.mode = mode
-        self.n_groups, self.rows_needed, self.group_cols = q.shape
+        self.n_groups, self.rows_needed, self.group_cols = shape
         self.out_cols = self.n_groups * self.group_cols
         #: offset making the encoded levels unsigned; removed digitally
         self.offset = 2 ** (arch.weight_bits - 1)
-        encoded = q + self.offset  # (G, R, C), unsigned levels
 
         self.row_tiles = math.ceil(self.rows_needed / arch.rows)
         weights_per_tile = arch.weights_per_col_tile
@@ -141,29 +257,16 @@ class PackedMatmul:
             program_noise = ctx.noise.stream("packed", *salt_parts, "program")
             self._read_noise = ctx.noise.stream("packed", *salt_parts, "read")
 
-        if mode == "ideal":
-            # The ideal read-out is linear, so the slice cascade recombines
-            # back into the encoded matrix and one matmul suffices.
-            self._encoded = np.ascontiguousarray(encoded, dtype=np.float64)
-            self._conductances: List[np.ndarray] = []
+        self._encoded = encoded
+        if program_noise is not None:
+            # per-executor programming variation over the shared base tensors;
+            # draws are consumed slice-by-slice exactly as the one-shot
+            # constructor consumed them, so results stay bit-identical
+            self._conductances = [
+                program_noise.apply_conductance_variation(c) for c in conductances
+            ]
         else:
-            cell = arch.cell_spec()
-            mask = 2 ** arch.cell_bits - 1
-            self._encoded = None
-            self._conductances = []
-            for s in range(self.n_slices):
-                levels = (encoded >> (arch.cell_bits * s)) & mask
-                # same map as ReRAMCellSpec.weight_to_conductance, without
-                # the range scan (the mask guarantees valid levels) and with
-                # in-place scaling so deep models don't pay an extra
-                # weights-sized temporary per slice
-                conductances = levels.astype(np.float64)
-                del levels
-                conductances *= cell.g_step_s
-                conductances += cell.g_min_s
-                if program_noise is not None:
-                    conductances = program_noise.apply_conductance_variation(conductances)
-                self._conductances.append(conductances)
+            self._conductances = list(conductances)
         # exactness bound for the float64 integer matmul of the ideal path
         self._ideal_exact = (
             float(2 ** arch.input_bits - 1)

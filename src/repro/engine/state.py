@@ -1,0 +1,400 @@
+"""Programmed-chip state as a first-class, cacheable artifact.
+
+The paper's premise is that in-ReRAM computing amortises a one-time,
+expensive weight-programming phase over many cheap analog inferences.  This
+module gives that phase a product: :class:`ProgrammedState` — the per-layer,
+per-bit-cell-slice conductance tensors plus the quantisation/tiling metadata
+that :class:`repro.engine.packed.PackedMatmul` /
+:class:`repro.engine.tiles.TiledMatmul` otherwise rebuild inside every
+``NetworkExecutor`` construction — so programming runs **once** and its
+result is saved, shared across processes, and re-used by any number of
+executions (:meth:`repro.engine.executor.NetworkExecutor.from_state`).
+
+Three design points:
+
+* **Noise-independence.**  The state holds the *base* (noise-free)
+  conductances.  Per-trial programming variation is multiplicative and
+  seed-stable (``(seed, salt)`` streams, see :mod:`repro.circuits.noise`),
+  so it is applied cheaply on top of the base tensors at executor wiring
+  time — one snapshot therefore serves every Monte-Carlo trial of a sweep
+  while staying bit-for-bit identical to programming from scratch.
+* **Content addressing.**  :func:`state_key` derives a stable key from
+  ``(model, ArchSpec, mode, backend, seed)`` via the same
+  :func:`repro.circuits.noise.stable_seed` hashing the sweep store uses, so
+  equal configurations share one cache entry across processes and machines.
+* **Memory-mappability.**  :meth:`ProgrammedState.save` writes a directory
+  of plain ``.npy`` files (one per tensor) next to a ``meta.json``;
+  :meth:`ProgrammedState.load` with ``mmap=True`` memory-maps every tensor,
+  so an executor can stream a larger-than-RAM programmed network tile-group
+  by tile-group instead of materialising it.
+
+:class:`ProgrammedStateCache` layers a small in-memory LRU over an optional
+on-disk directory keyed by content: ``get_or_program`` is the one call the
+CLI, the sweep pool and (eventually) a persistent simulation server all go
+through.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.context import ENGINE_BACKENDS, ArchSpec
+from repro.engine.errors import EngineError
+
+#: bumped when the on-disk layout changes; loaders reject unknown versions
+STATE_FORMAT = 1
+
+#: metadata filename inside a saved state directory
+_META_NAME = "meta.json"
+
+
+def state_key(
+    model: str, arch: ArchSpec, mode: str, backend: str, seed: int
+) -> str:
+    """Stable 16-hex-digit content key of one programmed configuration.
+
+    Derived with the same :func:`repro.circuits.noise.stable_seed` hashing
+    the sweep keys use (SHA-256 based, stable across processes and Python
+    versions).  Noise is deliberately **not** part of the key: the state
+    holds base conductances and per-trial variation is applied on load, so
+    every noise scale / trial of a Monte-Carlo sweep shares one entry.
+    """
+    from repro.circuits.noise import stable_seed
+
+    value = stable_seed(
+        "programmed-state",
+        STATE_FORMAT,
+        model,
+        mode,
+        backend,
+        seed,
+        arch.rows,
+        arch.cols,
+        arch.cell_bits,
+        arch.weight_bits,
+        arch.input_bits,
+        repr(arch.r_min_ohm),
+        repr(arch.r_max_ohm),
+        repr(arch.t_del_s),
+        repr(arch.v_dd),
+    )
+    return f"{value:016x}"
+
+
+@dataclass
+class LayerState:
+    """Programmed artifact of one conv/FC layer.
+
+    Exactly one weight payload is populated, matching ``(backend, mode)``:
+    ``conductances`` (packed analog — the base per-slice tensors, noise-free),
+    ``encoded`` (packed ideal — the offset-encoded float matrix), or ``q``
+    (tiled — the signed quantised weights; the legacy per-crossbar objects
+    re-program deterministically from them on load).  All weight payloads are
+    ``(groups, rows_needed, group_cols)`` stacks in im2col layout.
+    """
+
+    name: str
+    index: int  # the layer's noise-scope salt (graph node index)
+    kind: str  # "conv" | "fc"
+    out_channels: int
+    n_groups: int
+    w_scales: np.ndarray  # (out_channels,) per-channel dequantisation scales
+    bias: Optional[np.ndarray] = None
+    # conv-only geometry (0 for fc)
+    stride: int = 0
+    pad: int = 0
+    kernel: int = 0
+    # weight payloads (see class docstring)
+    q: Optional[np.ndarray] = None
+    encoded: Optional[np.ndarray] = None
+    conductances: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        total = self.w_scales.nbytes
+        if self.bias is not None:
+            total += self.bias.nbytes
+        for payload in (self.q, self.encoded):
+            if payload is not None:
+                total += payload.nbytes
+        return total + sum(c.nbytes for c in self.conductances)
+
+
+@dataclass
+class ProgrammedState:
+    """The programmed-chip state of one (model, arch, mode, backend, seed).
+
+    Produced by :func:`repro.engine.executor.program`; consumed by
+    :meth:`repro.engine.executor.NetworkExecutor.from_state`.  Holds only
+    plain numpy arrays and primitives, so it pickles, saves and memory-maps
+    cleanly.  The state is noise-free by construction — per-trial programming
+    variation is applied when an executor is wired from it.
+    """
+
+    model: str
+    mode: str
+    backend: str
+    seed: int
+    arch: ArchSpec
+    layers: List[LayerState]
+
+    @property
+    def key(self) -> str:
+        """Content key of this state (see :func:`state_key`)."""
+        return state_key(self.model, self.arch, self.mode, self.backend, self.seed)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of the programmed tensors (the save/load payload)."""
+        return sum(layer.nbytes for layer in self.layers)
+
+    def layer_by_name(self, name: str) -> LayerState:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(name)
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write this state to directory ``path`` (atomic via rename).
+
+        The layout is one ``.npy`` file per tensor plus a ``meta.json``
+        manifest, so :meth:`load` can memory-map individual tensors.  If
+        ``path`` already exists when the rename lands, the existing entry
+        wins — states are content-keyed, so a concurrent writer produced
+        identical bytes and the tmp copy is simply discarded.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
+
+        def dump(prefix: str, array: Optional[np.ndarray]) -> Optional[str]:
+            if array is None:
+                return None
+            name = f"{prefix}.npy"
+            # np.save records Fortran order natively; preserving the packed
+            # payloads' exact memory layout matters because BLAS picks
+            # summation paths by layout — a C-order copy of the F-ordered
+            # conductances would be bitwise-different downstream
+            np.save(tmp / name, array)
+            return name
+
+        layers_meta = []
+        for i, layer in enumerate(self.layers):
+            prefix = f"L{i:03d}"
+            layers_meta.append(
+                {
+                    "name": layer.name,
+                    "index": layer.index,
+                    "kind": layer.kind,
+                    "out_channels": layer.out_channels,
+                    "n_groups": layer.n_groups,
+                    "stride": layer.stride,
+                    "pad": layer.pad,
+                    "kernel": layer.kernel,
+                    "w_scales": dump(f"{prefix}_w_scales", layer.w_scales),
+                    "bias": dump(f"{prefix}_bias", layer.bias),
+                    "q": dump(f"{prefix}_q", layer.q),
+                    "encoded": dump(f"{prefix}_encoded", layer.encoded),
+                    "conductances": [
+                        dump(f"{prefix}_cond{s}", c)
+                        for s, c in enumerate(layer.conductances)
+                    ],
+                }
+            )
+        meta = {
+            "format": STATE_FORMAT,
+            "model": self.model,
+            "mode": self.mode,
+            "backend": self.backend,
+            "seed": self.seed,
+            "key": self.key,
+            "arch": {
+                "rows": self.arch.rows,
+                "cols": self.arch.cols,
+                "cell_bits": self.arch.cell_bits,
+                "weight_bits": self.arch.weight_bits,
+                "input_bits": self.arch.input_bits,
+                "r_min_ohm": self.arch.r_min_ohm,
+                "r_max_ohm": self.arch.r_max_ohm,
+                "t_del_s": self.arch.t_del_s,
+                "v_dd": self.arch.v_dd,
+            },
+            "layers": layers_meta,
+        }
+        (tmp / _META_NAME).write_text(json.dumps(meta, indent=2, sort_keys=True))
+        try:
+            os.replace(tmp, path)
+        except OSError:
+            shutil.rmtree(tmp, ignore_errors=True)
+            if not path.is_dir():  # pragma: no cover - genuine filesystem error
+                raise
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path], mmap: bool = False) -> "ProgrammedState":
+        """Read a state saved by :meth:`save`.
+
+        With ``mmap=True`` every tensor is memory-mapped read-only instead of
+        materialised — the larger-than-RAM execution direction: a noiseless
+        packed executor then streams conductance pages from disk as the
+        matmuls touch them (a noisy one still materialises per-trial copies
+        when the variation is applied).
+        """
+        path = Path(path)
+        meta_file = path / _META_NAME
+        if not meta_file.is_file():
+            raise EngineError(f"no programmed state at {path} (missing {_META_NAME})")
+        meta = json.loads(meta_file.read_text())
+        if meta.get("format") != STATE_FORMAT:
+            raise EngineError(
+                f"programmed state at {path} has format {meta.get('format')!r}; "
+                f"this build reads format {STATE_FORMAT}"
+            )
+        mmap_mode = "r" if mmap else None
+
+        def pull(name: Optional[str]) -> Optional[np.ndarray]:
+            if name is None:
+                return None
+            return np.load(path / name, mmap_mode=mmap_mode)
+
+        layers = [
+            LayerState(
+                name=entry["name"],
+                index=entry["index"],
+                kind=entry["kind"],
+                out_channels=entry["out_channels"],
+                n_groups=entry["n_groups"],
+                w_scales=pull(entry["w_scales"]),
+                bias=pull(entry["bias"]),
+                stride=entry["stride"],
+                pad=entry["pad"],
+                kernel=entry["kernel"],
+                q=pull(entry["q"]),
+                encoded=pull(entry["encoded"]),
+                conductances=[pull(name) for name in entry["conductances"]],
+            )
+            for entry in meta["layers"]
+        ]
+        return cls(
+            model=meta["model"],
+            mode=meta["mode"],
+            backend=meta["backend"],
+            seed=meta["seed"],
+            arch=ArchSpec(**meta["arch"]),
+            layers=layers,
+        )
+
+
+class ProgrammedStateCache:
+    """Program-once/run-many cache: in-memory LRU over an on-disk directory.
+
+    ``root`` is the persistent cache directory (one content-keyed
+    subdirectory per state; ``None`` keeps the cache memory-only).
+    ``memory_entries`` bounds the resident LRU — deep models hold gigabytes
+    of conductances, so the default keeps only a few hot states in RAM and
+    falls back to (optionally memory-mapped) disk loads for the rest.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        memory_entries: int = 4,
+        mmap: bool = False,
+    ):
+        if memory_entries < 0:
+            raise ValueError("memory_entries must be non-negative")
+        self.root = Path(root) if root is not None else None
+        self.memory_entries = memory_entries
+        self.mmap = mmap
+        self._memory: "OrderedDict[str, ProgrammedState]" = OrderedDict()
+        #: hit/miss counters by source, for reporting and tests
+        self.counts = {"memory": 0, "disk": 0, "programmed": 0}
+
+    def path_for(self, key: str) -> Optional[Path]:
+        """Disk location of ``key`` (``None`` for a memory-only cache)."""
+        return self.root / key if self.root is not None else None
+
+    def _remember(self, key: str, state: ProgrammedState) -> None:
+        if self.memory_entries == 0:
+            return
+        self._memory[key] = state
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    def get(self, key: str) -> Optional[ProgrammedState]:
+        """The cached state for ``key``, or ``None`` (memory, then disk)."""
+        state, _ = self._lookup(key)
+        return state
+
+    def _lookup(self, key: str) -> Tuple[Optional[ProgrammedState], Optional[str]]:
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            return self._memory[key], "memory"
+        path = self.path_for(key)
+        if path is not None and (path / _META_NAME).is_file():
+            state = ProgrammedState.load(path, mmap=self.mmap)
+            self._remember(key, state)
+            return state, "disk"
+        return None, None
+
+    def put(self, state: ProgrammedState) -> Optional[Path]:
+        """Insert ``state`` (memory + disk); returns its disk path, if any."""
+        key = state.key
+        self._remember(key, state)
+        path = self.path_for(key)
+        if path is not None and not (path / _META_NAME).is_file():
+            state.save(path)
+        return path
+
+    def ensure_on_disk(self, state: ProgrammedState) -> Optional[Path]:
+        """Persist ``state`` if this cache has a disk root (idempotent)."""
+        path = self.path_for(state.key)
+        if path is not None and not (path / _META_NAME).is_file():
+            state.save(path)
+        return path
+
+    def get_or_program(
+        self,
+        network,
+        ctx=None,
+        mode: str = "analog",
+        backend: Optional[str] = None,
+        params=None,
+    ) -> Tuple[ProgrammedState, str]:
+        """The state for ``(network, ctx, mode, backend)``, programming on miss.
+
+        Returns ``(state, source)`` with ``source`` one of ``"memory"``,
+        ``"disk"`` or ``"programmed"`` — the cache-hit observability the CLI
+        and CI smoke assert on.  ``ctx.noise`` never affects the lookup (the
+        artifact is noise-free; variation is applied at executor wiring).
+        """
+        from repro.context import SimContext
+        from repro.engine.executor import program
+
+        ctx = ctx or SimContext()
+        backend = backend if backend is not None else ctx.backend
+        if backend not in ENGINE_BACKENDS:
+            raise EngineError(
+                f"unknown engine backend {backend!r}; choose from: {ENGINE_BACKENDS}"
+            )
+        key = state_key(network.name, ctx.arch, mode, backend, ctx.seed)
+        state, source = self._lookup(key)
+        if state is None:
+            state = program(network, ctx, mode, params=params, backend=backend)
+            self.put(state)
+            source = "programmed"
+        self.counts[source] += 1
+        return state, source

@@ -1,6 +1,6 @@
 """Command-line interface of the simulator.
 
-Four subcommands share one :class:`repro.context.SimContext`:
+Five subcommands share one :class:`repro.context.SimContext`:
 
 * ``estimate`` (the default when no subcommand is given, preserving the
   historical ``python -m repro.sim --model ...`` invocation) — chip-level
@@ -9,15 +9,20 @@ Four subcommands share one :class:`repro.context.SimContext`:
   and JSON output;
 * ``run`` — functional simulation: execute a model through its mapped
   crossbars with the time-domain circuit chains and report the end-to-end
-  output error against the float reference;
+  output error against the float reference; ``--state-cache`` serves the
+  programming phase from the content-keyed programmed-state cache;
+* ``program`` — the one-time phase alone: program a model's weights onto
+  crossbars and persist the chip state into the cache directory that later
+  ``run --state-cache`` / ``sweep --state-cache`` invocations hit;
 * ``sweep`` — the Monte-Carlo accuracy study: a (model x noise-scale x
   trial x cell-bits x backend) grid through a resumable process-pool sweep
-  (:mod:`repro.sweep`), reduced to mean/p95 relative error per noise scale;
+  (:mod:`repro.sweep`) that programs each distinct chip state once and
+  shares it across trials, reduced to mean/p95 relative error per scale;
 * ``bench`` — the tracked performance smoke: vgg_d estimation plus a cnn_1
-  engine run, the im2col micro-benchmark, a small sweep (trials/sec,
-  parallel speedup), a branching-topology engine smoke (residual block,
-  analog, validated) and the liveness-freeing peak-memory comparison,
-  written to a JSON artifact.
+  engine run, the im2col micro-benchmark, the program-once sweep legs
+  (legacy vs shared-state vs warm pool), the programming-cache timings, a
+  branching-topology engine smoke (residual block, analog, validated) and
+  the liveness-freeing peak-memory comparison, written to a JSON artifact.
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ from repro.energy.estimator import NetworkEstimate, compare_accelerators
 from repro.nn.models import build_model, list_models
 from repro.nn.network import Network
 
-_SUBCOMMANDS = ("estimate", "run", "sweep", "bench")
+_SUBCOMMANDS = ("estimate", "run", "program", "sweep", "bench")
 
 
 def _add_arch_arguments(parser: argparse.ArgumentParser) -> None:
@@ -159,10 +164,130 @@ def build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="seed for weights and the input image"
     )
+    _add_state_cache_arguments(parser)
     parser.add_argument(
         "--json", action="store_true", help="emit a JSON document instead of a table"
     )
     return parser
+
+
+def _add_state_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--state-cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "programmed-state cache directory: reuse the content-keyed "
+            "programmed chip state across invocations instead of "
+            "re-programming (created on first use)"
+        ),
+    )
+    parser.add_argument(
+        "--mmap",
+        action="store_true",
+        help=(
+            "memory-map cached states instead of materialising them "
+            "(with --state-cache; the larger-than-RAM direction)"
+        ),
+    )
+
+
+def build_program_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim program",
+        description=(
+            "Program a model's weights onto crossbars and persist the "
+            "resulting chip state in a content-keyed cache directory — the "
+            "expensive one-time phase, amortised by every later "
+            "`run --state-cache` / `sweep --state-cache` invocation."
+        ),
+    )
+    parser.add_argument(
+        "--model",
+        default="cnn_1",
+        help="model name from the zoo (default: cnn_1; see estimate --list-models)",
+    )
+    _add_arch_arguments(parser)
+    parser.add_argument(
+        "--mode",
+        choices=("analog", "ideal"),
+        default="analog",
+        help="tile read-out the state is packed for",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=ENGINE_BACKENDS,
+        default=ENGINE_BACKENDS[0],
+        help="execution backend the state is packed for (default: packed)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed of the deterministic weights"
+    )
+    parser.add_argument(
+        "--state-cache",
+        default=".state_cache",
+        metavar="DIR",
+        help="cache directory to program into (default: .state_cache)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON document instead of text"
+    )
+    return parser
+
+
+def main_program(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_program_parser().parse_args(argv)
+
+    try:
+        network = _load_model(args.model)
+        arch = _arch_from_args(args)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+
+    from repro.engine import EngineError, ProgrammedStateCache
+
+    ctx = SimContext(arch=arch, seed=args.seed, backend=args.backend)
+    cache = ProgrammedStateCache(root=args.state_cache)
+    start = time.perf_counter()
+    try:
+        state, source = cache.get_or_program(network, ctx, mode=args.mode)
+    except EngineError as exc:
+        print(f"cannot program {args.model!r}: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    path = cache.path_for(state.key)
+
+    if args.json:
+        doc = {
+            "model": args.model,
+            "mode": args.mode,
+            "backend": args.backend,
+            "seed": args.seed,
+            "key": state.key,
+            "source": source,
+            "state_mb": state.nbytes / 1e6,
+            "layers": len(state.layers),
+            "program_s": elapsed,
+            "path": str(path),
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
+
+    action = "programmed" if source == "programmed" else f"cache hit ({source})"
+    print(
+        f"{action}: {args.model} ({args.mode}, {args.backend} backend, "
+        f"seed {args.seed}) -> {state.key}"
+    )
+    print(
+        f"  {len(state.layers)} layers, {state.nbytes / 1e6:.1f} MB, "
+        f"{elapsed:.2f}s"
+    )
+    print(f"  {path}")
+    return 0
 
 
 def _default_bench_output() -> str:
@@ -223,6 +348,26 @@ def build_bench_parser() -> argparse.ArgumentParser:
         default=2,
         metavar="N",
         help="worker count of the parallel leg of the sweep smoke (default: 2)",
+    )
+    parser.add_argument(
+        "--sweep-trials",
+        type=int,
+        default=16,
+        metavar="N",
+        help=(
+            "Monte-Carlo trials per sweep-smoke grid point (default: 16 — "
+            "enough that trial compute dominates pool bookkeeping)"
+        ),
+    )
+    parser.add_argument(
+        "--sweep-model",
+        default="mlp_l",
+        metavar="MODEL",
+        help=(
+            "model of the sweep smoke (default: mlp_l — programming-heavy "
+            "FC stack, so the program-once amortisation is visible against "
+            "the per-trial forward cost)"
+        ),
     )
     parser.add_argument(
         "--branching-model",
@@ -425,18 +570,31 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     # import here so `estimate` stays importable without the engine package
-    from repro.engine import EngineError, NetworkExecutor
+    from repro.engine import EngineError, NetworkExecutor, ProgrammedStateCache
 
     validate = not args.no_validate
     ctx = SimContext(arch=arch, noise=noise, seed=args.seed, backend=args.backend)
     start = time.perf_counter()
     try:
-        executor = NetworkExecutor(network, ctx, mode=args.mode)
+        if args.state_cache is not None:
+            # program-once/run-many: the expensive programming phase is
+            # served from the content-keyed cache when a previous
+            # invocation (or `program`) already built this chip state
+            cache = ProgrammedStateCache(root=args.state_cache, mmap=args.mmap)
+            state, cache_source = cache.get_or_program(network, ctx, mode=args.mode)
+            program_s = time.perf_counter() - start
+            executor = NetworkExecutor(network, ctx, mode=args.mode, state=state)
+        else:
+            cache_source = "off"
+            executor = NetworkExecutor(network, ctx, mode=args.mode)
+            program_s = time.perf_counter() - start
+        run_start = time.perf_counter()
         x = executor.random_batch(args.batch) if args.batch > 0 else None
         result = executor.run(x, validate=validate)
     except EngineError as exc:
         print(f"engine cannot run {args.model!r}: {exc}", file=sys.stderr)
         return 2
+    run_s = time.perf_counter() - run_start
     elapsed = time.perf_counter() - start
 
     def _err(value: float) -> Optional[float]:
@@ -454,6 +612,12 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
             "crossbars": executor.crossbars,
             "rel_error": _err(result.rel_error),
             "elapsed_s": elapsed,
+            "program_s": program_s,
+            "run_s": run_s,
+            "programming": {
+                "cache": cache_source,
+                "key": executor.state.key,
+            },
             "layers": [
                 {
                     "name": trace.name,
@@ -479,15 +643,18 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
         err = f"{trace.rel_error:.3e}" if validate else "-"
         print(f"{trace.name:<22} {trace.kind:<8} {trace.crossbars:>6} {err:>12}")
     print("-" * len(header))
+    timing = f"{elapsed:.2f}s ({program_s:.2f}s programming + {run_s:.2f}s run)"
+    if args.state_cache is not None:
+        timing += f", state {executor.state.key}: {cache_source}"
     if validate:
         print(
             f"output rel. error vs float reference: {result.rel_error:.3e}  "
-            f"({executor.crossbars} crossbars, {elapsed:.2f}s)"
+            f"({executor.crossbars} crossbars, {timing})"
         )
     else:
         print(
             f"validation skipped (--no-validate)  "
-            f"({executor.crossbars} crossbars, {elapsed:.2f}s)"
+            f"({executor.crossbars} crossbars, {timing})"
         )
     return 0
 
@@ -573,6 +740,17 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--state-cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "programmed-state cache directory: reuse programmed chip states "
+            "across sweep invocations (each distinct model/arch/seed group "
+            "is programmed at most once either way; the cache persists the "
+            "snapshots beyond this run)"
+        ),
+    )
+    parser.add_argument(
         "--per-layer",
         action="store_true",
         help="also print per-layer mean error attribution under each grid row",
@@ -631,11 +809,21 @@ def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
 
     store = SweepStore(args.output)
     progress = None if args.json else print
-    from repro.engine import EngineError
+    from repro.engine import EngineError, ProgrammedStateCache
 
+    cache = (
+        ProgrammedStateCache(root=args.state_cache)
+        if args.state_cache is not None
+        else None
+    )
     try:
         outcome = run_sweep(
-            grid, store, workers=args.workers, resume=args.resume, progress=progress
+            grid,
+            store,
+            workers=args.workers,
+            resume=args.resume,
+            progress=progress,
+            cache=cache,
         )
     except EngineError as exc:
         print(f"sweep cannot run: {exc}", file=sys.stderr)
@@ -652,6 +840,8 @@ def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
             "executed": outcome.executed,
             "workers": args.workers,
             "elapsed_s": outcome.elapsed_s,
+            "program_s": outcome.program_s,
+            "pool_startup_s": outcome.pool_startup_s,
             "trials_per_sec": outcome.trials_per_sec,
             "summary": summary,
         }
@@ -733,6 +923,7 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         engine_net = _load_model(args.engine_model)
         branching_net = _load_model(args.branching_model)
         liveness_net = _load_model(args.liveness_model)
+        _load_model(args.sweep_model)  # fail fast before the timed legs
         deep_net = _load_model(args.deep_model) if args.deep_model else None
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
@@ -781,34 +972,87 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
             **_timed_engine_run(deep_net, ctx, "packed", None, repeats=1),
         }
 
-    # 5. Monte-Carlo sweep smoke: the same small grid serial vs pooled.
-    # On a grid this small the pooled leg is dominated by process start-up,
-    # so parallel_speedup tracks pool overhead against tiny trials (often
-    # < 1x on few-core runners), not asymptotic scaling — the keys name the
-    # legs explicitly so the artifact cannot be misread.
+    # 5. Monte-Carlo sweep smoke: the legacy program-every-trial serial path
+    # against the program-once paths.  The grid carries enough noisy trials
+    # that per-trial compute dominates bookkeeping, and the pooled leg runs
+    # on a pre-warmed pool with its startup reported separately — so
+    # parallel_speedup measures steady-state throughput of the new path
+    # (shared programming + chunked pool) over the old one (re-programming
+    # in every trial, inline), not process spawn overhead.
     import tempfile
 
-    from repro.sweep import SweepGrid, SweepStore, run_sweep
+    from repro.sweep import SweepGrid, SweepStore, run_sweep, warm_pool
 
     grid = SweepGrid(
-        models=(args.engine_model,), noise_scales=(0.0, 1.0), trials=2, seed=0
+        models=(args.sweep_model,),
+        noise_scales=(0.0, 1.0),
+        trials=args.sweep_trials,
+        seed=0,
     )
     with tempfile.TemporaryDirectory() as tmp:
-        serial = run_sweep(grid, SweepStore(Path(tmp) / "serial.jsonl"), workers=1)
-        pooled = run_sweep(
+        legacy = run_sweep(
             grid,
-            SweepStore(Path(tmp) / "pooled.jsonl"),
-            workers=args.sweep_workers,
+            SweepStore(Path(tmp) / "legacy.jsonl"),
+            workers=1,
+            share_state=False,
         )
+        shared = run_sweep(grid, SweepStore(Path(tmp) / "shared.jsonl"), workers=1)
+        pool, pool_startup_s = warm_pool(args.sweep_workers)
+        try:
+            pooled = run_sweep(
+                grid,
+                SweepStore(Path(tmp) / "pooled.jsonl"),
+                workers=args.sweep_workers,
+                pool=pool,
+            )
+        finally:
+            pool.shutdown()
     sweep = {
-        "model": args.engine_model,
+        "model": args.sweep_model,
         "trials": len(grid),
-        "engine_runs": serial.executed,
-        "serial_s": serial.elapsed_s,
-        "parallel_s": pooled.elapsed_s,
+        "engine_runs": legacy.executed,
         "workers": args.sweep_workers,
-        "serial_trials_per_sec": serial.trials_per_sec,
-        "parallel_speedup": serial.elapsed_s / pooled.elapsed_s,
+        # legacy path: every trial re-programs its chip, inline
+        "serial_s": legacy.elapsed_s,
+        # program-once path, still inline: isolates the amortisation win
+        "shared_serial_s": shared.elapsed_s,
+        "program_s": shared.program_s,
+        # program-once path through the (pre-warmed) pool; startup separate
+        "parallel_s": pooled.elapsed_s,
+        "pool_startup_s": pool_startup_s,
+        "serial_trials_per_sec": legacy.trials_per_sec,
+        "parallel_trials_per_sec": pooled.trials_per_sec,
+        # the headline: new steady-state path vs the old path
+        "parallel_speedup": legacy.elapsed_s / pooled.elapsed_s,
+        # pool cost/benefit at this core count: pooled vs inline, both shared
+        "steady_state_speedup": shared.elapsed_s / pooled.elapsed_s,
+    }
+
+    # 5b. programmed-state cache: one cnn_1-sized state programmed cold,
+    # then served from a fresh cache's disk directory and from the LRU
+    from repro.engine import ProgrammedStateCache
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_cache = ProgrammedStateCache(root=tmp)
+        start = time.perf_counter()
+        state, source_cold = cold_cache.get_or_program(engine_net, ctx)
+        cache_program_s = time.perf_counter() - start
+        fresh_cache = ProgrammedStateCache(root=tmp)  # models a new process
+        start = time.perf_counter()
+        _, source_disk = fresh_cache.get_or_program(engine_net, ctx)
+        disk_hit_s = time.perf_counter() - start
+        start = time.perf_counter()
+        _, source_memory = fresh_cache.get_or_program(engine_net, ctx)
+        memory_hit_s = time.perf_counter() - start
+    programming_cache = {
+        "model": args.engine_model,
+        "key": state.key,
+        "state_mb": state.nbytes / 1e6,
+        "sources": [source_cold, source_disk, source_memory],
+        "program_s": cache_program_s,
+        "disk_hit_s": disk_hit_s,
+        "memory_hit_s": memory_hit_s,
+        "disk_speedup": cache_program_s / disk_hit_s,
     }
 
     # 6. branching-topology engine smoke: a DAG model (residual add +
@@ -868,6 +1112,7 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
             "speedup": loop_elapsed / vectorized_elapsed,
         },
         "sweep": sweep,
+        "programming_cache": programming_cache,
         "branching": branching,
         "liveness": liveness,
         "deep_engine": deep,
@@ -903,8 +1148,17 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
     )
     print(
         f"  sweep ({sweep['model']}, {sweep['trials']} trials): "
-        f"{sweep['serial_trials_per_sec']:.1f} trials/s serial, "
-        f"{sweep['parallel_speedup']:.2f}x with {sweep['workers']} workers"
+        f"{sweep['serial_trials_per_sec']:.1f} trials/s legacy serial, "
+        f"{sweep['parallel_speedup']:.2f}x program-once with "
+        f"{sweep['workers']} workers "
+        f"(+{sweep['pool_startup_s']:.2f}s pool startup, reported apart)"
+    )
+    print(
+        f"  programming cache ({programming_cache['model']}): "
+        f"{programming_cache['program_s'] * 1e3:.1f} ms cold vs "
+        f"{programming_cache['disk_hit_s'] * 1e3:.1f} ms disk / "
+        f"{programming_cache['memory_hit_s'] * 1e3:.2f} ms memory hit "
+        f"({programming_cache['state_mb']:.1f} MB state)"
     )
     if deep is not None:
         print(
@@ -924,6 +1178,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         command, rest = "estimate", argv
     if command == "run":
         return main_run(rest)
+    if command == "program":
+        return main_program(rest)
     if command == "sweep":
         return main_sweep(rest)
     if command == "bench":

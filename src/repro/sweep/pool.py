@@ -1,4 +1,4 @@
-"""Parallel sweep execution through a process pool.
+"""Parallel sweep execution through a process pool, program-once style.
 
 :func:`run_trial` is the (picklable, module-level) worker: it rebuilds the
 trial's :class:`~repro.context.SimContext` from the :class:`TrialSpec`
@@ -8,27 +8,50 @@ result row.  Because every noise draw is derived statelessly from
 exactly the row the parent process would — worker count, scheduling order
 and resume boundaries cannot change any result.
 
+The expensive part of a trial is not the forward pass but the weight
+*programming* that used to happen inside every ``NetworkExecutor``
+construction.  Programming is noise-free, so every trial and noise scale of
+one ``(model, arch, mode, backend, seed)`` group shares a single
+:class:`~repro.engine.state.ProgrammedState`: :func:`run_sweep` programs
+each group **once** in the parent, snapshots it to disk (the sweep's
+``--state-cache`` directory when given, a temp directory otherwise) and
+ships the snapshot path to the workers — a pool initializer pre-loads it,
+and :func:`run_trial_chunk` runs a whole chunk of trials against the
+memoised state instead of re-programming per trial.  Per-trial programming
+variation is applied at executor wiring from the trial's own noise streams,
+so the rows stay bit-for-bit identical to the re-program-every-trial path.
+
 :func:`run_sweep` drives a grid through a ``ProcessPoolExecutor`` (or
 inline for ``workers <= 1``), appending rows to the
 :class:`~repro.sweep.store.SweepStore` as they complete and compacting the
 store into canonical grid order at the end.  Noise-scale-0 grid points are
 deduplicated: with no noise model attached every trial of such a point is
 the same deterministic forward pass, so one engine run fans out to all of
-its trials' rows.
+its trials' rows.  A fully-resumed sweep computes nothing and — pool
+startup being the dominant cost of small sweeps — never creates a pool.
 """
 
 from __future__ import annotations
 
+import math
+import shutil
+import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sweep.grid import SweepGrid, TrialSpec
 from repro.sweep.store import SweepStore
 
 
-def run_trial(spec: TrialSpec) -> dict:
+def run_trial(
+    spec: TrialSpec,
+    state=None,
+    network=None,
+    params=None,
+) -> dict:
     """Run one sweep trial and return its deterministic result row.
 
     The row carries the spec fields (with content key), the end-to-end
@@ -36,19 +59,96 @@ def run_trial(spec: TrialSpec) -> dict:
     errors (the error-attribution data the reducer aggregates) and the
     crossbar count — and deliberately **no** wall-clock fields, so rows are
     byte-identical across runs and worker counts.
+
+    ``state``/``network``/``params`` are the program-once fast path: a
+    pre-programmed :class:`~repro.engine.state.ProgrammedState` (with its
+    rebuilt network and parameters) skips quantisation and bit-slice packing
+    and goes straight to wiring — same numbers, noise included, because the
+    state is noise-free and per-trial variation is applied at wiring time.
+    With all three ``None`` the trial programs from scratch (the legacy
+    path, still exercised by ``share_state=False``).
     """
     from repro.engine import NetworkExecutor
     from repro.nn.models import build_model
 
-    network = build_model(spec.model)
+    if network is None:
+        network = build_model(spec.model)
     ctx = spec.context()
-    executor = NetworkExecutor(network, ctx, mode=spec.mode)
+    executor = NetworkExecutor(network, ctx, mode=spec.mode, params=params, state=state)
     result = executor.run(executor.random_input(), validate=True)
     row = spec.as_row()
     row["rel_error"] = result.rel_error
     row["crossbars"] = executor.crossbars
     row["layers"] = {trace.name: trace.rel_error for trace in result.traces}
     return row
+
+
+#: per-worker memo of loaded snapshots: path -> (state, network, params).
+#: Populated by the pool initializer (and lazily by run_trial_chunk), so a
+#: worker loads each programmed state once and serves every chunk from it.
+_WORKER_STATES: Dict[str, tuple] = {}
+
+
+def _load_worker_state(path: str) -> tuple:
+    entry = _WORKER_STATES.get(path)
+    if entry is None:
+        from repro.engine import NetworkParams, ProgrammedState
+        from repro.nn.models import build_model
+
+        state = ProgrammedState.load(path)
+        network = build_model(state.model)
+        entry = (state, network, NetworkParams(network, state.seed))
+        _WORKER_STATES[path] = entry
+    return entry
+
+
+def _preload_states(paths: Sequence[str]) -> None:
+    """Pool initializer: warm the engine import and pre-load snapshots."""
+    import repro.engine  # noqa: F401  (the heavyweight import, paid once)
+
+    for path in paths:
+        _load_worker_state(path)
+
+
+def _warm_worker(_: int) -> bool:
+    import repro.engine  # noqa: F401
+
+    return True
+
+
+def warm_pool(
+    workers: int, snapshot_paths: Sequence[str] = ()
+) -> Tuple[ProcessPoolExecutor, float]:
+    """A started, import-warmed pool and the seconds its startup took.
+
+    Forces all ``workers`` processes to spawn and run the
+    :func:`_preload_states` initializer before returning, so a subsequent
+    :func:`run_sweep` with ``pool=`` measures steady-state throughput —
+    the bench reports the returned startup separately as ``pool_startup_s``.
+    The caller owns the pool (``shutdown()`` when done).
+    """
+    start = time.perf_counter()
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_preload_states,
+        initargs=(tuple(snapshot_paths),),
+    )
+    # one no-op per worker forces every process to exist before we return
+    list(pool.map(_warm_worker, range(workers)))
+    return pool, time.perf_counter() - start
+
+
+def run_trial_chunk(specs: Sequence[TrialSpec], snapshot_path: str) -> List[dict]:
+    """Run a chunk of one group's trials against its programmed snapshot.
+
+    The chunk is the pool's unit of work: it amortises task submission and
+    result pickling over several trials, and every trial reuses the
+    worker-memoised state/network/params loaded from ``snapshot_path``.
+    """
+    state, network, params = _load_worker_state(snapshot_path)
+    return [
+        run_trial(spec, state=state, network=network, params=params) for spec in specs
+    ]
 
 
 def _work_spec(spec: TrialSpec) -> TrialSpec:
@@ -66,6 +166,26 @@ def _work_spec(spec: TrialSpec) -> TrialSpec:
     return replace(spec, trial=0)
 
 
+def _group_key(spec: TrialSpec) -> str:
+    """Programmed-state content key of ``spec``'s trial group.
+
+    Noise scale and trial index are deliberately absent — the state is
+    noise-free, so every Monte-Carlo trial of one
+    ``(model, arch, mode, backend, seed)`` group shares one programming.
+    """
+    from repro.context import ArchSpec
+    from repro.engine.state import state_key
+
+    arch = ArchSpec(
+        rows=spec.rows,
+        cols=spec.cols,
+        cell_bits=spec.cell_bits,
+        weight_bits=spec.weight_bits,
+        input_bits=spec.input_bits,
+    )
+    return state_key(spec.model, arch, spec.mode, spec.backend, spec.seed)
+
+
 @dataclass(frozen=True)
 class SweepOutcome:
     """What one :func:`run_sweep` invocation did."""
@@ -80,6 +200,12 @@ class SweepOutcome:
     #: points deduplicated their identical trials)
     executed: int
     elapsed_s: float
+    #: seconds the parent spent programming shared states (0 with
+    #: ``share_state=False`` or when everything resumed from the store)
+    program_s: float = 0.0
+    #: seconds spent spawning and warming a pool this call created itself
+    #: (0 inline, and 0 when the caller passed a pre-warmed ``pool=``)
+    pool_startup_s: float = 0.0
 
     @property
     def trials_per_sec(self) -> float:
@@ -94,16 +220,35 @@ def run_sweep(
     workers: int = 1,
     resume: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    cache=None,
+    share_state: bool = True,
+    pool: Optional[Executor] = None,
+    chunk_size: Optional[int] = None,
 ) -> SweepOutcome:
     """Run every missing trial of ``grid``, recording rows in ``store``.
 
     With ``resume=True`` trials whose content keys are already stored are
     skipped (an interrupted sweep continues where it stopped; a completed
-    one computes nothing).  Without it any previous store content is
-    discarded.  ``workers <= 1`` runs inline — no pool, same rows.
+    one computes nothing — and creates no pool).  Without it any previous
+    store content is discarded.  ``workers <= 1`` runs inline — no pool,
+    same rows.
+
+    ``share_state`` (default) programs each distinct
+    ``(model, arch, mode, backend, seed)`` group once in the parent and
+    reuses the snapshot for every trial — bit-identical rows, minus the
+    per-trial re-programming cost; ``share_state=False`` is the legacy
+    program-every-trial path.  ``cache`` (a
+    :class:`~repro.engine.state.ProgrammedStateCache`) persists and reuses
+    programmed states across invocations; without one, snapshots for the
+    workers live in a temp directory for the duration of the call.
+    ``pool`` substitutes a caller-owned (pre-warmed) executor — it is not
+    shut down here, and ``pool_startup_s`` stays 0.  ``chunk_size`` caps
+    trials per pool task (default: enough chunks for ~2 tasks per worker).
     """
     if workers < 0:
         raise ValueError("workers must be non-negative")
+    if chunk_size is not None and chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
     specs = grid.specs()
     if not resume:
         store.clear()
@@ -138,19 +283,108 @@ def run_sweep(
                     f"trial {done}/{len(pending)} ({spec.model}, noise x{spec.noise_scale:g})"
                 )
 
+    program_s = 0.0
+    pool_startup_s = 0.0
     start = time.perf_counter()
     # a shared run whose row resumed from the store fans out without re-running
     for key in [key for key in work if key in known]:
         emit(known[key], members.pop(key))
         del work[key]
-    if workers <= 1 or len(work) <= 1:
-        for key, shared in work.items():
-            emit(run_trial(shared), members[key])
+
+    if not work:
+        # everything resumed (or the grid was empty): nothing to program,
+        # and — crucially — no pool to pay startup for
+        pass
+    elif not share_state:
+        # legacy path: every trial programs its own chip
+        if pool is None and (workers <= 1 or len(work) == 1):
+            for key, shared in work.items():
+                emit(run_trial(shared), members[key])
+        else:
+            own_pool = pool is None
+            if own_pool:
+                pool, pool_startup_s = warm_pool(workers)
+            try:
+                futures = {
+                    pool.submit(run_trial, shared): key for key, shared in work.items()
+                }
+                for future in as_completed(futures):
+                    emit(future.result(), members[futures[future]])  # errors propagate
+            finally:
+                if own_pool:
+                    pool.shutdown()
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(run_trial, shared): key for key, shared in work.items()}
-            for future in as_completed(futures):
-                emit(future.result(), members[futures[future]])  # errors propagate
+        from repro.engine import NetworkParams, ProgrammedStateCache
+        from repro.nn.models import build_model
+
+        # program each distinct chip configuration once, in the parent
+        groups: Dict[str, List[TrialSpec]] = {}
+        for shared in work.values():
+            groups.setdefault(_group_key(shared), []).append(shared)
+        if cache is None:
+            cache = ProgrammedStateCache(memory_entries=max(4, len(groups)))
+        t_program = time.perf_counter()
+        states: Dict[str, tuple] = {}
+        for gkey, gspecs in groups.items():
+            rep = gspecs[0]
+            network = build_model(rep.model)
+            state, source = cache.get_or_program(network, rep.context(), rep.mode)
+            states[gkey] = (state, network, NetworkParams(network, rep.seed))
+            if progress:
+                progress(
+                    f"programmed state {state.key} ({rep.model}, "
+                    f"{len(gspecs)} runs): {source}"
+                )
+        program_s = time.perf_counter() - t_program
+
+        if pool is None and (workers <= 1 or len(work) == 1):
+            for gkey, gspecs in groups.items():
+                state, network, params = states[gkey]
+                for shared in gspecs:
+                    emit(
+                        run_trial(shared, state=state, network=network, params=params),
+                        members[shared.key],
+                    )
+        else:
+            # snapshot each group's state to disk so the pool initializer /
+            # run_trial_chunk can load it once per worker process
+            tmpdir: Optional[str] = None
+            if cache.root is None:
+                tmpdir = tempfile.mkdtemp(prefix="repro-sweep-state-")
+            paths: Dict[str, str] = {}
+            for gkey, (state, _, _) in states.items():
+                if cache.root is not None:
+                    paths[gkey] = str(cache.ensure_on_disk(state))
+                else:
+                    paths[gkey] = str(state.save(Path(tmpdir) / state.key))
+            try:
+                own_pool = pool is None
+                if own_pool:
+                    pool, pool_startup_s = warm_pool(workers, tuple(paths.values()))
+                try:
+                    # ~2 chunks per worker: coarse enough that chunk hand-off
+                    # (result pickling, scheduling) stays negligible next to
+                    # the trials, fine enough that a straggler worker can
+                    # still be backfilled
+                    size = chunk_size or max(
+                        1, math.ceil(len(work) / (workers * 2 if workers else 2))
+                    )
+                    futures = {}
+                    for gkey, gspecs in groups.items():
+                        for lo in range(0, len(gspecs), size):
+                            chunk = gspecs[lo : lo + size]
+                            futures[
+                                pool.submit(run_trial_chunk, chunk, paths[gkey])
+                            ] = chunk
+                    for future in as_completed(futures):
+                        for row, shared in zip(future.result(), futures[future]):
+                            emit(row, members[shared.key])  # errors propagate
+                finally:
+                    if own_pool:
+                        pool.shutdown()
+            finally:
+                if tmpdir is not None:
+                    shutil.rmtree(tmpdir, ignore_errors=True)
     elapsed = time.perf_counter() - start
 
     # compact: grid rows in canonical order, then any foreign rows (other
@@ -165,4 +399,6 @@ def run_sweep(
         skipped=skipped,
         executed=len(work),
         elapsed_s=elapsed,
+        program_s=program_s,
+        pool_startup_s=pool_startup_s,
     )

@@ -182,6 +182,86 @@ def test_run_negative_noise_exits_2(capsys):
 
 
 # ---------------------------------------------------------------------------
+# program + --state-cache (program once, run many)
+# ---------------------------------------------------------------------------
+
+def test_program_json_schema_and_cache_hit(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    args = ["program", "--model", "tiny_cnn", "--state-cache", cache, "--json"]
+    assert cli.main(args) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["model"] == "tiny_cnn"
+    assert first["mode"] == "analog" and first["backend"] == "packed"
+    assert first["source"] == "programmed"
+    assert len(first["key"]) == 16
+    assert first["layers"] > 0 and first["state_mb"] > 0
+    assert first["program_s"] > 0
+    assert (tmp_path / "cache" / first["key"] / "meta.json").is_file()
+    # the second invocation is a disk hit on the same content key
+    assert cli.main(args) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["source"] == "disk"
+    assert second["key"] == first["key"]
+
+
+def test_program_text_output(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert cli.main(["program", "--model", "tiny_mlp", "--state-cache", cache]) == 0
+    assert "programmed: tiny_mlp" in capsys.readouterr().out
+    assert cli.main(["program", "--model", "tiny_mlp", "--state-cache", cache]) == 0
+    assert "cache hit (disk)" in capsys.readouterr().out
+
+
+def test_program_unknown_model_exits_2(tmp_path, capsys):
+    assert cli.main(
+        ["program", "--model", "nope", "--state-cache", str(tmp_path / "c")]
+    ) == 2
+    assert "unknown model" in capsys.readouterr().err
+
+
+def test_run_state_cache_hit_skips_programming(tmp_path, capsys):
+    """The acceptance smoke: a cache-hit run reports the hit, programs
+    (nearly) nothing, and lands on the identical rel_error."""
+    base = ["run", "--model", "tiny_cnn", "--json"]
+    cached = base + ["--state-cache", str(tmp_path / "cache")]
+    assert cli.main(base) == 0
+    plain = json.loads(capsys.readouterr().out)
+    assert plain["programming"]["cache"] == "off"
+    assert cli.main(cached) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["programming"]["cache"] == "programmed"
+    assert cli.main(cached) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["programming"]["cache"] == "disk"
+    assert warm["programming"]["key"] == cold["programming"]["key"]
+    # identical numbers whether programmed fresh, cold-cached or cache-hit
+    assert plain["rel_error"] == cold["rel_error"] == warm["rel_error"]
+    assert plain["layers"] == cold["layers"] == warm["layers"]
+    assert warm["program_s"] > 0 and warm["run_s"] > 0
+
+
+def test_run_state_cache_mmap(tmp_path, capsys):
+    cached = [
+        "run", "--model", "tiny_cnn", "--json",
+        "--state-cache", str(tmp_path / "cache"), "--mmap",
+    ]
+    assert cli.main(cached) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cli.main(cached) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["programming"]["cache"] == "disk"
+    assert warm["rel_error"] == cold["rel_error"]
+
+
+def test_run_state_cache_table_reports_source(tmp_path, capsys):
+    cached = ["run", "--model", "tiny_mlp", "--state-cache", str(tmp_path / "cache")]
+    assert cli.main(cached) == 0
+    assert ": programmed" in capsys.readouterr().out
+    assert cli.main(cached) == 0
+    assert ": disk" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
 # sweep
 # ---------------------------------------------------------------------------
 
@@ -258,6 +338,18 @@ def test_sweep_invalid_noise_grid_exits_2(tmp_path, capsys):
     assert "invalid sweep configuration" in capsys.readouterr().err
 
 
+def test_sweep_state_cache_and_timing_fields(tmp_path, capsys):
+    """`sweep --state-cache` persists the programmed snapshot and the JSON
+    carries the programming / pool-startup split."""
+    cache = str(tmp_path / "cache")
+    assert cli.main(_sweep_args(tmp_path, "--json", "--state-cache", cache)) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["program_s"] > 0
+    assert doc["pool_startup_s"] == 0  # single-worker sweeps run inline
+    entries = list((tmp_path / "cache").iterdir())
+    assert len(entries) == 1 and (entries[0] / "meta.json").is_file()
+
+
 def test_sweep_unknown_backend_exits_2(tmp_path, capsys):
     assert cli.main(_sweep_args(tmp_path, "--backend", "bogus")) == 2
     assert "invalid sweep configuration" in capsys.readouterr().err
@@ -278,6 +370,10 @@ def test_bench_writes_artifact(tmp_path, capsys):
             "cnn_1",
             "--engine-model",
             "tiny_cnn",
+            "--sweep-model",
+            "tiny_cnn",
+            "--sweep-trials",
+            "2",
         ]
     ) == 0
     doc = json.loads(out_path.read_text())
@@ -299,13 +395,24 @@ def test_bench_writes_artifact(tmp_path, capsys):
     )
     assert doc["engine"]["speedup"] > 1.0
     assert doc["im2col"]["speedup"] > 1.0
-    # sweep smoke: throughput and parallel-speedup figures are recorded
+    # sweep smoke: legacy-serial vs shared-state vs warm-pool legs
     assert doc["sweep"]["model"] == "tiny_cnn"
     assert doc["sweep"]["trials"] == 4
     assert doc["sweep"]["engine_runs"] == 3  # noiseless pair shares one run
+    assert doc["sweep"]["workers"] == 2
     assert doc["sweep"]["serial_trials_per_sec"] > 0
     assert doc["sweep"]["serial_s"] > 0 and doc["sweep"]["parallel_s"] > 0
+    assert doc["sweep"]["shared_serial_s"] > 0
+    assert doc["sweep"]["program_s"] > 0
+    assert doc["sweep"]["pool_startup_s"] > 0  # reported apart from the trials
     assert doc["sweep"]["parallel_speedup"] > 0
+    assert doc["sweep"]["steady_state_speedup"] > 0
+    # program-once cache smoke: cold programming, then disk + memory hits
+    cache = doc["programming_cache"]
+    assert cache["model"] == "tiny_cnn"
+    assert cache["sources"] == ["programmed", "disk", "memory"]
+    assert cache["program_s"] > cache["memory_hit_s"]
+    assert cache["state_mb"] > 0 and len(cache["key"]) == 16
     assert doc["deep_engine"] is None  # no --deep-model given
 
 

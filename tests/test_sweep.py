@@ -21,6 +21,7 @@ from repro.sweep import (
     run_sweep,
     run_trial,
     summarize,
+    warm_pool,
 )
 
 TINY_GRID = SweepGrid(models=("tiny_cnn",), noise_scales=(0.0, 1.0), trials=2, seed=0)
@@ -234,6 +235,120 @@ def test_run_trial_row_matches_a_direct_engine_run():
     assert row["rel_error"] == result.rel_error
     assert row["crossbars"] == executor.crossbars
     assert row["key"] == spec.key
+
+
+# ---------------------------------------------------------------------------
+# program-once pool behaviour
+# ---------------------------------------------------------------------------
+
+def test_run_trial_from_shared_state_matches_from_scratch():
+    """A pre-programmed snapshot yields the byte-identical row the legacy
+    program-per-trial path produces — noise included."""
+    from repro.engine import NetworkParams, program
+
+    spec = TrialSpec(model="tiny_cnn", noise_scale=1.0, trial=2)
+    legacy_row = run_trial(spec)
+    network = build_model(spec.model)
+    state = program(network, spec.context(), spec.mode)
+    shared_row = run_trial(
+        spec, state=state, network=network, params=NetworkParams(network, spec.seed)
+    )
+    assert shared_row == legacy_row
+
+
+def test_shared_state_rows_match_legacy_path(tmp_path):
+    """share_state=False (program every trial) and the default shared-state
+    sweep write byte-identical stores."""
+    legacy = SweepStore(tmp_path / "legacy.jsonl")
+    shared = SweepStore(tmp_path / "shared.jsonl")
+    run_sweep(TINY_GRID, legacy, workers=1, share_state=False)
+    run_sweep(TINY_GRID, shared, workers=1)
+    assert legacy.path.read_bytes() == shared.path.read_bytes()
+
+
+def test_chunk_size_does_not_change_the_store(tmp_path):
+    coarse = SweepStore(tmp_path / "coarse.jsonl")
+    fine = SweepStore(tmp_path / "fine.jsonl")
+    run_sweep(TINY_GRID, coarse, workers=2)
+    run_sweep(TINY_GRID, fine, workers=2, chunk_size=1)
+    assert coarse.path.read_bytes() == fine.path.read_bytes()
+
+
+def test_fully_resumed_sweep_creates_no_pool(tmp_path, monkeypatch):
+    """Pool startup dominates a no-op sweep, so a fully-resumed invocation
+    must never spawn workers — even when asked for several."""
+    import repro.sweep.pool as pool_mod
+
+    store = SweepStore(tmp_path / "rows.jsonl")
+    run_sweep(TINY_GRID, store, workers=1)
+
+    def forbidden(*args, **kwargs):
+        raise AssertionError("a fully-resumed sweep must not create a pool")
+
+    monkeypatch.setattr(pool_mod, "warm_pool", forbidden)
+    monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", forbidden)
+    outcome = run_sweep(TINY_GRID, store, workers=4, resume=True)
+    assert outcome.computed == 0 and outcome.skipped == len(TINY_GRID)
+    assert outcome.program_s == 0.0 and outcome.pool_startup_s == 0.0
+
+
+def test_outcome_records_programming_and_pool_startup(tmp_path):
+    inline = run_sweep(TINY_GRID, SweepStore(tmp_path / "a.jsonl"), workers=1)
+    assert inline.program_s > 0.0  # shared states were programmed
+    assert inline.pool_startup_s == 0.0  # no pool inline
+    pooled = run_sweep(TINY_GRID, SweepStore(tmp_path / "b.jsonl"), workers=2)
+    assert pooled.program_s > 0.0
+    assert pooled.pool_startup_s > 0.0  # it built (and timed) its own pool
+
+
+def test_prewarmed_pool_is_reused_not_shut_down(tmp_path):
+    """A caller-owned pool serves several sweeps; run_sweep neither warms
+    nor shuts it down (pool_startup_s stays 0)."""
+    pool, startup_s = warm_pool(2)
+    try:
+        assert startup_s > 0.0
+        first = run_sweep(TINY_GRID, SweepStore(tmp_path / "a.jsonl"), workers=2, pool=pool)
+        second = run_sweep(TINY_GRID, SweepStore(tmp_path / "b.jsonl"), workers=2, pool=pool)
+        assert first.pool_startup_s == 0.0 and second.pool_startup_s == 0.0
+        assert (tmp_path / "a.jsonl").read_bytes() == (tmp_path / "b.jsonl").read_bytes()
+    finally:
+        pool.shutdown()
+
+
+def test_sweep_reuses_a_disk_cache_across_invocations(tmp_path):
+    """With a --state-cache directory, the second sweep of the same grid
+    loads the programmed snapshot instead of re-programming it."""
+    from repro.engine import ProgrammedStateCache
+
+    cache_root = tmp_path / "cache"
+    first_cache = ProgrammedStateCache(root=cache_root)
+    run_sweep(TINY_GRID, SweepStore(tmp_path / "a.jsonl"), workers=1, cache=first_cache)
+    assert first_cache.counts["programmed"] == 1
+    second_cache = ProgrammedStateCache(root=cache_root)
+    run_sweep(TINY_GRID, SweepStore(tmp_path / "b.jsonl"), workers=1, cache=second_cache)
+    assert second_cache.counts == {"memory": 0, "disk": 1, "programmed": 0}
+    assert (tmp_path / "a.jsonl").read_bytes() == (tmp_path / "b.jsonl").read_bytes()
+
+
+def test_run_trial_chunk_matches_individual_trials(tmp_path):
+    from repro.engine import program
+    from repro.sweep import run_trial_chunk
+
+    specs = [
+        TrialSpec(model="tiny_cnn", noise_scale=1.0, trial=t) for t in range(3)
+    ]
+    network = build_model("tiny_cnn")
+    state = program(network, specs[0].context(), specs[0].mode)
+    path = state.save(tmp_path / state.key)
+    assert run_trial_chunk(specs, str(path)) == [run_trial(s) for s in specs]
+
+
+def test_sweep_rejects_bad_worker_and_chunk_configuration(tmp_path):
+    store = SweepStore(tmp_path / "rows.jsonl")
+    with pytest.raises(ValueError):
+        run_sweep(TINY_GRID, store, workers=-1)
+    with pytest.raises(ValueError):
+        run_sweep(TINY_GRID, store, chunk_size=0)
 
 
 # ---------------------------------------------------------------------------
