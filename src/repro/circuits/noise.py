@@ -121,11 +121,18 @@ class NoiseBudget:
 
 
 def _conductance_variation(sampler, sigma: float, conductances: np.ndarray) -> np.ndarray:
-    """Shared ``G * (1 + eps)`` programming-variation kernel, clipped at zero."""
+    """Shared ``G * (1 + eps)`` programming-variation kernel, clipped at zero.
+
+    The draw itself always happens in float64 (so the realisation is
+    bit-identical regardless of the storage precision), then the product is
+    cast back to the input's dtype — a float32 conductance tensor stays
+    float32 instead of silently doubling under the noise multiply.
+    """
     if sigma <= 0:
         return conductances
     variation = sampler(sigma, conductances.shape)
-    return np.clip(conductances * (1.0 + variation), 0.0, None)
+    noisy = (conductances * (1.0 + variation)).astype(conductances.dtype, copy=False)
+    return np.clip(noisy, 0.0, None, out=noisy)
 
 
 @dataclass

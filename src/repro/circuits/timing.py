@@ -107,7 +107,12 @@ class TimeDomainChainSpec:
             v_dd=ctx.arch.v_dd,
         )
 
-    def read_out(self, charges: np.ndarray, delay_sums: np.ndarray) -> np.ndarray:
+    def read_out(
+        self,
+        charges: np.ndarray,
+        delay_sums: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Vectorized phase-I/II read-out of raw column charges.
 
         ``charges`` holds phase-I column charges (coulombs) of any shape;
@@ -121,10 +126,13 @@ class TimeDomainChainSpec:
 
         The arithmetic runs in place on one working array (a single
         allocation regardless of how many tiles the stack covers); the
-        inputs are left untouched.
+        inputs are left untouched unless ``out`` aliases ``charges`` —
+        pass ``out=charges`` to run the whole chain fully in place with
+        zero allocations, which is how the packed backend's chunked
+        read-out keeps its working set bounded by one chunk.
         """
         offset = (self.v_dd * self.cell.g_min_s) * delay_sums
-        net = charges - offset
+        net = np.subtract(charges, offset, out=out)
         np.clip(net, 0.0, None, out=net)
         net /= self.capacitance_f  # phase-I capacitor voltage
         np.subtract(self.v_threshold, net, out=net)

@@ -151,6 +151,16 @@ ACCELERATOR_STYLES = ("timely", "prime", "isaac")
 #: correctness reference.
 ENGINE_BACKENDS = ("packed", "tiled")
 
+#: Compute dtypes of the packed execution backend: ``"float64"`` (default,
+#: bit-identical to the historical behaviour) or ``"float32"`` — half the
+#: conductance-tensor memory and single-precision BLAS on the hot matmul +
+#: read-out chain, at a documented looser accuracy bar (<= 1e-4 relative
+#: against the float64 path on the analog chains; ideal-mode integer
+#: matmuls that would lose exactness in float32 fall back to float64 per
+#: layer, so requesting float32 never breaks exact read-out).  The tiled
+#: backend is the correctness reference and always computes in float64.
+COMPUTE_DTYPES = ("float64", "float32")
+
 
 def accelerator_factories() -> dict:
     """The accelerator-name → config-factory registry, keyed by
@@ -177,7 +187,21 @@ class SimContext:
     generation), so two contexts with equal fields reproduce each other
     exactly; ``backend`` selects the functional-engine execution backend
     (see :data:`ENGINE_BACKENDS` — noiseless, both produce the same numbers
-    to float tolerance, the packed one just gets there much faster).
+    to float tolerance, the packed one just gets there much faster);
+    ``compute_dtype`` selects the packed backend's arithmetic precision
+    (see :data:`COMPUTE_DTYPES` — ``"float32"`` halves conductance memory
+    and roughly doubles matmul throughput at a ≤1e-4 relative-accuracy
+    bar, while ``"float64"``, the default, stays bit-identical to the
+    historical behaviour); ``chunk_bytes`` bounds the packed read-out
+    chain's working set — when set, the stacked tiles × positions charge
+    tensor is split along the position axis into chunks of at most this
+    many bytes and the two-phase chain runs per chunk fully in place, so
+    the layer's peak transient memory is one chunk instead of
+    ``row_tiles × n_slices`` copies of the whole im2col output.  ``None``
+    (the default) keeps the historical single-pass read-out, which is
+    bit-identical to prior releases; chunked results agree with it to
+    float rounding (BLAS picks different summation blockings per chunk
+    shape), pinned ≤1e-12 relative in the tests.
     """
 
     arch: ArchSpec = field(default_factory=ArchSpec)
@@ -185,6 +209,8 @@ class SimContext:
     noise: Optional["HardwareNoiseConfig"] = None
     seed: int = 0
     backend: str = ENGINE_BACKENDS[0]
+    compute_dtype: str = COMPUTE_DTYPES[0]
+    chunk_bytes: Optional[int] = None
 
     # A SimContext is a bag of plain dataclasses (ArchSpec, the stateless
     # HardwareNoiseConfig) and scalars, so it pickles cleanly across the
@@ -201,6 +227,18 @@ class SimContext:
                 f"unknown engine backend {self.backend!r}; "
                 f"choose from: {', '.join(ENGINE_BACKENDS)}"
             )
+        if self.compute_dtype not in COMPUTE_DTYPES:
+            raise ValueError(
+                f"unknown compute dtype {self.compute_dtype!r}; "
+                f"choose from: {', '.join(COMPUTE_DTYPES)}"
+            )
+        if self.chunk_bytes is not None and self.chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive (or None for the default)")
+
+    @property
+    def np_compute_dtype(self) -> np.dtype:
+        """The numpy dtype the packed backend computes in."""
+        return np.dtype(self.compute_dtype)
 
     # -- derived objects -------------------------------------------------------
     def accelerator_spec(self) -> "AcceleratorSpec":

@@ -40,6 +40,7 @@ runs can skip the float double-compute with ``run(validate=False)``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -117,6 +118,12 @@ class ExecutionResult:
     total size of simultaneously live activations during the engine pass
     (the quantity liveness-based freeing bounds; it excludes the float
     reference activations a validated run additionally holds).
+    ``peak_wired_bytes`` is the maximum weight-payload bytes wired for
+    execution at once: for a resident executor that is every layer's
+    programmed tensors for the whole run, for a streamed one
+    (``NetworkExecutor(..., stream=True)``) it is the single largest
+    layer — the deterministic quantity the streaming memory bound rests
+    on, independent of allocator/OS noise.
     """
 
     model: str
@@ -126,6 +133,7 @@ class ExecutionResult:
     reference: Optional[np.ndarray] = None
     traces: List[LayerTrace] = field(default_factory=list)
     peak_activation_bytes: int = 0
+    peak_wired_bytes: int = 0
 
     @property
     def rel_error(self) -> float:
@@ -147,6 +155,7 @@ def program_layer(
     arch,
     mode: str,
     backend: str,
+    compute_dtype: str = "float64",
 ) -> LayerState:
     """Program one conv/FC layer: the expensive, noise-free phase.
 
@@ -195,7 +204,7 @@ def program_layer(
         kernel=kernel,
     )
     if backend == "packed":
-        state.encoded, state.conductances = pack_weights(q, arch, mode)
+        state.encoded, state.conductances = pack_weights(q, arch, mode, compute_dtype)
     else:
         # the legacy tiled backend re-programs its per-crossbar objects from
         # the quantised weights on wiring (deterministic, so bit-identical)
@@ -231,7 +240,7 @@ def program(
     validate_supported(network)
     params = params or NetworkParams(network, ctx.seed)
     layers = [
-        program_layer(inst, params, ctx.arch, mode, backend)
+        program_layer(inst, params, ctx.arch, mode, backend, ctx.compute_dtype)
         for inst in network.compute_instances
     ]
     return ProgrammedState(
@@ -241,6 +250,7 @@ def program(
         seed=ctx.seed,
         arch=ctx.arch,
         layers=layers,
+        compute_dtype=ctx.compute_dtype,
     )
 
 
@@ -266,6 +276,10 @@ def _check_state(
         mismatches.append(f"backend {state.backend!r} != {backend!r}")
     if state.seed != ctx.seed:
         mismatches.append(f"seed {state.seed} != {ctx.seed}")
+    if state.compute_dtype != ctx.compute_dtype:
+        mismatches.append(
+            f"compute_dtype {state.compute_dtype!r} != {ctx.compute_dtype!r}"
+        )
     if state.arch != ctx.arch:
         mismatches.append(f"arch {state.arch} != {ctx.arch}")
     if not mismatches:
@@ -278,6 +292,22 @@ def _check_state(
             "programmed state does not match this execution request: "
             + "; ".join(mismatches)
         )
+
+
+def _layer_crossbars(state: LayerState, arch) -> int:
+    """Crossbars a layer state occupies, from payload geometry alone.
+
+    Lets a streaming executor report tile counts without wiring any layer
+    (reading a memory-mapped payload's ``.shape`` touches no data pages).
+    Matches both backends' own counting: ``groups x row_tiles x col_tiles``.
+    """
+    payload = state.encoded
+    if payload is None:
+        payload = state.conductances[0] if state.conductances else state.q
+    n_groups, rows_needed, group_cols = payload.shape
+    row_tiles = math.ceil(rows_needed / arch.rows)
+    col_tiles = math.ceil(group_cols / arch.weights_per_col_tile)
+    return n_groups * row_tiles * col_tiles
 
 
 class _MappedComputeLayer:
@@ -406,6 +436,18 @@ class NetworkExecutor:
         outputs, noise included.  Without it, the constructor programs the
         network itself (the historical one-shot behaviour, now a thin
         compose of :func:`program` and the wiring step).
+    stream:
+        With ``True``, no layer is wired at construction: each run wires
+        one compute layer at a time — for a disk-backed state on **fresh
+        per-layer file handles** (:meth:`ProgrammedState.stream_layer`) —
+        executes it and drops every reference before the next layer, so
+        peak weight memory is the largest single layer instead of the sum
+        over all layers (``ExecutionResult.peak_wired_bytes`` records the
+        observed bound).  Outputs are bit-identical to the resident path
+        at the same context: noise draws derive from ``(seed, layer
+        salt)``, never from wiring order.  Combine with a
+        ``ProgrammedState.load(..., mmap=True)`` state for the full
+        larger-than-RAM effect.
     """
 
     def __init__(
@@ -416,6 +458,7 @@ class NetworkExecutor:
         params: Optional[NetworkParams] = None,
         backend: Optional[str] = None,
         state: Optional[ProgrammedState] = None,
+        stream: bool = False,
     ):
         if mode not in MODES:
             raise EngineError(f"unknown engine mode {mode!r}; choose from: {MODES}")
@@ -438,10 +481,24 @@ class NetworkExecutor:
         else:
             _check_state(state, network, self.ctx, mode, self.backend)
         self.state = state
-        self._compute: Dict[str, _MappedComputeLayer] = {
-            ls.name: _MappedComputeLayer(ls, self.ctx, mode, self.backend)
-            for ls in state.layers
+        self.stream = stream
+        #: layer name -> position in ``state.layers`` (compute layers only)
+        self._positions: Dict[str, int] = {
+            ls.name: i for i, ls in enumerate(state.layers)
         }
+        self._compute: Dict[str, _MappedComputeLayer] = {}
+        if not stream:
+            self._compute = {
+                ls.name: _MappedComputeLayer(ls, self.ctx, mode, self.backend)
+                for ls in state.layers
+            }
+
+    def _wire_layer(self, name: str) -> _MappedComputeLayer:
+        """The executable layer for ``name`` — resident, or freshly streamed."""
+        if not self.stream:
+            return self._compute[name]
+        streamed = self.state.stream_layer(self._positions[name])
+        return _MappedComputeLayer(streamed, self.ctx, self.mode, self.backend)
 
     @classmethod
     def from_state(
@@ -450,6 +507,7 @@ class NetworkExecutor:
         network: Optional[Network] = None,
         ctx: Optional[SimContext] = None,
         params: Optional[NetworkParams] = None,
+        stream: bool = False,
     ) -> "NetworkExecutor":
         """Wire an executor from a programmed state, skipping programming.
 
@@ -457,14 +515,22 @@ class NetworkExecutor:
         ``ctx`` defaults to a noise-free context matching the state (pass
         one with a noise model to apply per-trial programming variation on
         top of the stored base conductances — the Monte-Carlo path).  The
-        context's architecture, seed and backend must match the state's.
+        context's architecture, seed, backend and compute dtype must match
+        the state's.  ``stream=True`` wires nothing up front and executes
+        layer-by-layer against the state's backing files (see the
+        constructor's ``stream`` parameter).
         """
         if network is None:
             from repro.nn.models import build_model
 
             network = build_model(state.model)
         if ctx is None:
-            ctx = SimContext(arch=state.arch, seed=state.seed, backend=state.backend)
+            ctx = SimContext(
+                arch=state.arch,
+                seed=state.seed,
+                backend=state.backend,
+                compute_dtype=state.compute_dtype,
+            )
         return cls(
             network,
             ctx,
@@ -472,11 +538,16 @@ class NetworkExecutor:
             params=params,
             backend=state.backend,
             state=state,
+            stream=stream,
         )
 
     @property
     def crossbars(self) -> int:
         """Programmed physical crossbars (pairs counted once, as the mapper does)."""
+        if self.stream:
+            return sum(
+                _layer_crossbars(ls, self.ctx.arch) for ls in self.state.layers
+            )
         return sum(layer.crossbars for layer in self._compute.values())
 
     @property
@@ -485,8 +556,14 @@ class NetworkExecutor:
 
         Packed: the per-slice conductance tensors; tiled: the integer levels
         plus conductances of every physical crossbar.  The bench adds this to
-        the traced forward-pass peak for its memory figure.
+        the traced forward-pass peak for its memory figure.  A streaming
+        executor wires nothing up front, so this reports the backing
+        state's payload bytes (for a memory-mapped state those live on
+        disk, not in RAM — ``ExecutionResult.peak_wired_bytes`` is the
+        resident bound there).
         """
+        if self.stream:
+            return self.state.nbytes
         return sum(layer.programmed_bytes for layer in self._compute.values())
 
     def random_input(self, salt: int = 1) -> np.ndarray:
@@ -561,13 +638,19 @@ class NetworkExecutor:
         }
         live: Dict[str, np.ndarray] = {NETWORK_INPUT: batch}
         peak_bytes = _live_buffer_bytes(live.values())
+        peak_wired = 0 if self.stream else self.programmed_bytes
         traces: List[LayerTrace] = []
         for inst in order:
             operands = [live[src] for src in inst.inputs]
-            if inst.name in self._compute:
-                mapped = self._compute[inst.name]
+            if inst.name in self._positions:
+                mapped = self._wire_layer(inst.name)
                 out = mapped.forward(operands[0], self.ctx.arch.input_bits)
                 crossbars = mapped.crossbars
+                if self.stream:
+                    peak_wired = max(peak_wired, mapped.programmed_bytes)
+                    # drop the streamed layer (and its file handles) before
+                    # the next layer wires — this is the streaming bound
+                    del mapped
             else:
                 out = apply_aux_batched(inst, operands, self.params)
                 crossbars = 0
@@ -608,6 +691,7 @@ class NetworkExecutor:
             reference=reference,
             traces=traces,
             peak_activation_bytes=peak_bytes,
+            peak_wired_bytes=peak_wired,
         )
 
 

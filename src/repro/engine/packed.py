@@ -55,6 +55,21 @@ from repro.engine.tiles import MODES
 #: float64 integer matmuls are exact below this product-sum magnitude
 _EXACT_FLOAT_BOUND = float(2 ** 53)
 
+#: per-dtype exactness bounds (mantissa width + 1) for the ideal-mode
+#: integer matmul; a requested dtype whose bound the layer's worst-case
+#: product sum exceeds falls back to the next wider dtype per layer
+_EXACT_FLOAT_BOUNDS = {
+    np.dtype(np.float64): _EXACT_FLOAT_BOUND,
+    np.dtype(np.float32): float(2 ** 24),
+}
+
+
+def _worst_product_sum(arch: ArchSpec, rows_needed: int) -> float:
+    """Upper bound of one ideal-mode output element before offset removal."""
+    return (
+        float(2 ** arch.input_bits - 1) * float(2 ** arch.weight_bits) * rows_needed
+    )
+
 
 def _flat_memory_view(a: np.ndarray) -> Optional[np.ndarray]:
     """A 1-D view of ``a`` in its own memory order, or ``None`` if strided."""
@@ -75,7 +90,10 @@ def _like(result: np.ndarray, template: np.ndarray) -> np.ndarray:
 
 
 def pack_weights(
-    q: np.ndarray, arch: ArchSpec, mode: str
+    q: np.ndarray,
+    arch: ArchSpec,
+    mode: str,
+    compute_dtype: Union[str, np.dtype] = "float64",
 ) -> Tuple[Optional[np.ndarray], List[np.ndarray]]:
     """The expensive, noise-free half of packed programming.
 
@@ -85,6 +103,16 @@ def pack_weights(
     per executor, so one packed payload serves every noise realisation).
     Returns ``(encoded, conductances)``: exactly one is populated —
     ``encoded`` for ``"ideal"`` mode, the conductance list for ``"analog"``.
+
+    ``compute_dtype`` (:data:`repro.context.COMPUTE_DTYPES`) selects the
+    storage/arithmetic precision of the packed tensors.  ``"float32"``
+    halves the payload and switches the hot matmuls to single-precision
+    BLAS; in ``"ideal"`` mode the request is honoured only when the
+    layer's worst-case product sum stays below the dtype's exactness
+    bound (:data:`_EXACT_FLOAT_BOUNDS`) — otherwise the layer silently
+    falls back to float64 storage so exact integer read-out is never
+    broken.  The chosen dtype is observable on the returned tensors (and
+    as :attr:`PackedMatmul.compute_dtype` after wiring).
 
     This is the payload :class:`repro.engine.state.ProgrammedState` snapshots
     and :meth:`PackedMatmul.from_packed` rewires without recomputation.
@@ -98,8 +126,17 @@ def pack_weights(
     reshaping the results back **in the same order** reproduces the exact
     bytes *and* the exact layout of the direct computation — layout
     matters downstream, because BLAS picks summation paths by operand
-    memory order.
+    memory order.  Both branches preserve that layout: the ideal-mode
+    encoded matrix keeps ``q``'s order via an order-preserving ``astype``
+    (it used to be forced C-contiguous, silently discarding the F-order
+    this docstring promises).
     """
+    dtype = np.dtype(compute_dtype)
+    if dtype not in _EXACT_FLOAT_BOUNDS:
+        raise EngineError(
+            f"unsupported packed compute dtype {dtype}; "
+            f"choose from: {', '.join(str(d) for d in _EXACT_FLOAT_BOUNDS)}"
+        )
     flat = _flat_memory_view(q)
     if flat is None:  # non-contiguous input: direct (strided) fallback
         flat = q
@@ -108,8 +145,13 @@ def pack_weights(
     encoded = _like(encoded_flat, q)  # (G, R, C)
     if mode == "ideal":
         # The ideal read-out is linear, so the slice cascade recombines
-        # back into the encoded matrix and one matmul suffices.
-        return np.ascontiguousarray(encoded, dtype=np.float64), []
+        # back into the encoded matrix and one matmul suffices.  Per-layer
+        # exactness fallback: a float32 request only sticks when the
+        # worst-case product sum fits the 24-bit mantissa.
+        if _worst_product_sum(arch, q.shape[1]) >= _EXACT_FLOAT_BOUNDS[dtype]:
+            dtype = np.dtype(np.float64)
+        # order='K' keeps q's memory layout (the F-ordered im2col stack)
+        return encoded.astype(dtype, order="K"), []
     cell = arch.cell_spec()
     mask = 2 ** arch.cell_bits - 1
     conductances: List[np.ndarray] = []
@@ -119,10 +161,10 @@ def pack_weights(
         # range scan (the mask guarantees valid levels) and with in-place
         # scaling so deep models don't pay an extra weights-sized
         # temporary per slice
-        slice_conductances = levels.astype(np.float64)
+        slice_conductances = levels.astype(dtype)
         del levels
-        slice_conductances *= cell.g_step_s
-        slice_conductances += cell.g_min_s
+        slice_conductances *= dtype.type(cell.g_step_s)
+        slice_conductances += dtype.type(cell.g_min_s)
         conductances.append(_like(slice_conductances, q))
     return None, conductances
 
@@ -174,7 +216,7 @@ class PackedMatmul:
                 f"quantised weights must lie in [{-qmax}, {qmax}] for "
                 f"{arch.weight_bits}-bit symmetric quantisation"
             )
-        encoded, conductances = pack_weights(q, arch, mode)
+        encoded, conductances = pack_weights(q, arch, mode, ctx.compute_dtype)
         self._wire(encoded, conductances, ctx, mode, salt)
 
     @classmethod
@@ -238,7 +280,18 @@ class PackedMatmul:
             )
         self.col_tiles = math.ceil(self.group_cols / weights_per_tile)
         self.n_slices = arch.cols_per_weight
-        #: power-of-two digital recombination weights of the slice cascade
+        #: arithmetic precision of this layer's packed tensors — decided at
+        #: packing time (pack_weights may have fallen back to float64 for
+        #: exactness), so it is read off the payload, not the context
+        payload = encoded if encoded is not None else conductances[0]
+        self.compute_dtype = np.dtype(payload.dtype)
+        #: power-of-two digital recombination weights of the slice cascade.
+        #: Always float64: the recombination and offset correction work on
+        #: ``~offset * sum(codes)``-magnitude operands whose difference is
+        #: orders of magnitude smaller, so float32 here would turn the
+        #: digital (exact) half of the pipeline into the accuracy
+        #: bottleneck — only the analog gemm + read-out chain drop to
+        #: float32, the digital recombination stays double.
         self.shifts = np.array(
             [float(2 ** (arch.cell_bits * s)) for s in range(self.n_slices)]
         )
@@ -267,13 +320,11 @@ class PackedMatmul:
             ]
         else:
             self._conductances = list(conductances)
-        # exactness bound for the float64 integer matmul of the ideal path
-        self._ideal_exact = (
-            float(2 ** arch.input_bits - 1)
-            * float(2 ** arch.weight_bits)
-            * self.rows_needed
-            < _EXACT_FLOAT_BOUND
-        )
+        # exactness bound for the float integer matmul of the ideal path,
+        # checked at the *stored* precision (pack_weights already widened
+        # a float32 request that could not stay exact)
+        bound = _EXACT_FLOAT_BOUNDS.get(self.compute_dtype, _EXACT_FLOAT_BOUND)
+        self._ideal_exact = _worst_product_sum(arch, self.rows_needed) < bound
 
     @property
     def crossbars(self) -> int:
@@ -324,8 +375,13 @@ class PackedMatmul:
 
         if self.mode == "ideal":
             if self._ideal_exact:
-                products = grouped.astype(np.float64) @ self._encoded
-            else:  # fall back to (slow) integer matmul beyond 2**53
+                # float32 payloads are exact here by construction (the
+                # pack-time bound check), so the upcast back to float64
+                # for the digital correction is lossless
+                products = (grouped.astype(self._encoded.dtype) @ self._encoded).astype(
+                    np.float64, copy=False
+                )
+            else:  # fall back to (slow) integer matmul beyond the float bound
                 products = (grouped @ self._encoded.astype(np.int64)).astype(np.float64)
         else:
             products = self._analog_products(grouped, positions)
@@ -339,33 +395,74 @@ class PackedMatmul:
             positions, self.out_cols
         )
 
+    def _position_chunk(self, positions: int) -> int:
+        """Positions per charge chunk under ``ctx.chunk_bytes`` (all if unset)."""
+        budget = self.ctx.chunk_bytes
+        if budget is None:
+            return positions
+        per_position = (
+            self.row_tiles
+            * self.n_slices
+            * self.n_groups
+            * self.group_cols
+            * self.compute_dtype.itemsize
+        )
+        return max(1, min(positions, budget // max(1, per_position)))
+
     def _analog_products(self, grouped: np.ndarray, positions: int) -> np.ndarray:
         """Time-domain estimate of the grouped integer products.
 
         One ``codes @ G`` matmul per (row tile, slice) fills a charge tensor
-        of shape ``(row_tiles, n_slices, groups, positions, group_cols)``;
-        the elementwise chain then runs once over the whole tensor and the
+        of shape ``(row_tiles, n_slices, groups, chunk, group_cols)``; the
+        elementwise chain then runs fully in place over that tensor
+        (``read_out(..., out=charges)`` — zero chain temporaries) and the
         partial products recombine digitally — the sum over row tiles and
-        the power-of-two slice cascade collapse into a single einsum.
+        the power-of-two slice cascade collapse into a single einsum per
+        chunk, accumulated straight into the ``(groups, positions,
+        group_cols)`` output.
+
+        With ``ctx.chunk_bytes`` unset the chunk is the whole batch (the
+        historical single-pass behaviour, bit-identical to prior
+        releases).  When set, the position axis is walked in bounded
+        chunks reusing one charge buffer, so a layer's peak transient
+        memory is one chunk instead of ``row_tiles x n_slices`` copies of
+        the entire im2col output.  The full delay tensor (and any DTC
+        jitter draw on it) is computed *before* the chunk walk, so noisy
+        results are independent of the chunking.
         """
         spec = self.spec
         noise = self._read_noise
+        dtype = self.compute_dtype
         if noise is not None and noise.dtc_sigma > 0:
             delays = spec.dtc.convert(grouped, noise)  # (G, P, R) seconds
+            delays = delays.astype(dtype, copy=False)
         else:
             # jitter-free DTC on validated codes: the clip is a no-op, so
             # the conversion collapses to one scale of the whole batch
-            delays = grouped * spec.dtc.t_del_s
+            delays = grouped.astype(dtype)
+            delays *= dtype.type(spec.dtc.t_del_s)
+        chunk = self._position_chunk(positions)
+        # float64 accumulator regardless of compute dtype: the slice/tile
+        # recombination and the offset correction downstream cancel
+        # large-magnitude operands (see the ``shifts`` note in ``_wire``)
+        out = np.empty((self.n_groups, positions, self.group_cols))
         charges = np.empty(
-            (self.row_tiles, self.n_slices, self.n_groups, positions, self.group_cols)
+            (self.row_tiles, self.n_slices, self.n_groups, chunk, self.group_cols),
+            dtype=dtype,
         )
-        delay_sums = np.empty((self.row_tiles, 1, self.n_groups, positions, 1))
-        for rt, (r0, height) in enumerate(self._row_spans):
-            d = delays[:, :, r0 : r0 + height]
-            delay_sums[rt, 0, :, :, 0] = d.sum(axis=2)
-            for s, conductances in enumerate(self._conductances):
-                np.matmul(d, conductances[:, r0 : r0 + height, :], out=charges[rt, s])
-        charges *= spec.v_dd
-        estimates = spec.read_out(charges, delay_sums)
-        # recombine: sum over row tiles (t), slice cascade weights over s
-        return np.einsum("s,tsgpc->gpc", self.shifts, estimates)
+        delay_sums = np.empty((self.row_tiles, 1, self.n_groups, chunk, 1), dtype=dtype)
+        v_dd = dtype.type(spec.v_dd)
+        for p0 in range(0, positions, chunk):
+            n = min(chunk, positions - p0)
+            block = charges[:, :, :, :n]
+            sums = delay_sums[:, :, :, :n]
+            for rt, (r0, height) in enumerate(self._row_spans):
+                d = delays[:, p0 : p0 + n, r0 : r0 + height]
+                sums[rt, 0, :, :, 0] = d.sum(axis=2)
+                for s, conductances in enumerate(self._conductances):
+                    np.matmul(d, conductances[:, r0 : r0 + height, :], out=block[rt, s])
+            block *= v_dd
+            estimates = spec.read_out(block, sums, out=block)
+            # recombine: sum over row tiles (t), slice cascade weights over s
+            np.einsum("s,tsgpc->gpc", self.shifts, estimates, out=out[:, p0 : p0 + n])
+        return out

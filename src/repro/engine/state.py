@@ -50,14 +50,21 @@ from repro.context import ENGINE_BACKENDS, ArchSpec
 from repro.engine.errors import EngineError
 
 #: bumped when the on-disk layout changes; loaders reject unknown versions
-STATE_FORMAT = 1
+#: (2: packed payloads carry a compute dtype — float32 states exist and the
+#: manifest + content key record which precision was programmed)
+STATE_FORMAT = 2
 
 #: metadata filename inside a saved state directory
 _META_NAME = "meta.json"
 
 
 def state_key(
-    model: str, arch: ArchSpec, mode: str, backend: str, seed: int
+    model: str,
+    arch: ArchSpec,
+    mode: str,
+    backend: str,
+    seed: int,
+    compute_dtype: str = "float64",
 ) -> str:
     """Stable 16-hex-digit content key of one programmed configuration.
 
@@ -66,6 +73,9 @@ def state_key(
     versions).  Noise is deliberately **not** part of the key: the state
     holds base conductances and per-trial variation is applied on load, so
     every noise scale / trial of a Monte-Carlo sweep shares one entry.
+    ``compute_dtype`` **is** part of the key — a float32-programmed payload
+    holds different bytes than a float64 one, so the two must never alias
+    in a shared cache.
     """
     from repro.circuits.noise import stable_seed
 
@@ -76,6 +86,7 @@ def state_key(
         mode,
         backend,
         seed,
+        compute_dtype,
         arch.rows,
         arch.cols,
         arch.cell_bits,
@@ -145,11 +156,20 @@ class ProgrammedState:
     seed: int
     arch: ArchSpec
     layers: List[LayerState]
+    #: requested packed compute precision (individual ideal-mode layers may
+    #: have fallen back to float64 for exactness — see ``pack_weights``)
+    compute_dtype: str = "float64"
+    #: where this state was loaded from (``None`` for in-process states);
+    #: set by :meth:`load` and what makes :meth:`stream_layer` possible
+    source_path: Optional[Path] = None
 
     @property
     def key(self) -> str:
         """Content key of this state (see :func:`state_key`)."""
-        return state_key(self.model, self.arch, self.mode, self.backend, self.seed)
+        return state_key(
+            self.model, self.arch, self.mode, self.backend, self.seed,
+            self.compute_dtype,
+        )
 
     @property
     def nbytes(self) -> int:
@@ -219,6 +239,7 @@ class ProgrammedState:
             "mode": self.mode,
             "backend": self.backend,
             "seed": self.seed,
+            "compute_dtype": self.compute_dtype,
             "key": self.key,
             "arch": {
                 "rows": self.arch.rows,
@@ -294,6 +315,50 @@ class ProgrammedState:
             seed=meta["seed"],
             arch=ArchSpec(**meta["arch"]),
             layers=layers,
+            compute_dtype=meta.get("compute_dtype", "float64"),
+            source_path=path,
+        )
+
+    def stream_layer(self, position: int, mmap: bool = True) -> LayerState:
+        """Layer ``position`` (index into ``layers``) on **fresh file handles**.
+
+        The stream-execution unit: for a disk-backed state this opens new
+        (by default memory-mapped) arrays that are independent of the
+        resident ``layers`` list, so the caller can wire the layer, execute
+        it, and drop every reference — the kernel then unmaps the pages and
+        peak RSS stays bounded by the largest live layer instead of
+        accumulating mapped pages across the whole network (which is what
+        happens when one long-lived ``load(mmap=True)`` handle serves every
+        layer).  For an in-process state (``source_path is None``) this
+        returns the resident layer unchanged — streaming degrades
+        gracefully to the resident behaviour, with identical numbers.
+        """
+        template = self.layers[position]
+        if self.source_path is None:
+            return template
+        path = Path(self.source_path)
+        entry = json.loads((path / _META_NAME).read_text())["layers"][position]
+        mmap_mode = "r" if mmap else None
+
+        def pull(name: Optional[str]) -> Optional[np.ndarray]:
+            if name is None:
+                return None
+            return np.load(path / name, mmap_mode=mmap_mode)
+
+        return LayerState(
+            name=entry["name"],
+            index=entry["index"],
+            kind=entry["kind"],
+            out_channels=entry["out_channels"],
+            n_groups=entry["n_groups"],
+            w_scales=pull(entry["w_scales"]),
+            bias=pull(entry["bias"]),
+            stride=entry["stride"],
+            pad=entry["pad"],
+            kernel=entry["kernel"],
+            q=pull(entry["q"]),
+            encoded=pull(entry["encoded"]),
+            conductances=[pull(name) for name in entry["conductances"]],
         )
 
 
@@ -390,7 +455,9 @@ class ProgrammedStateCache:
             raise EngineError(
                 f"unknown engine backend {backend!r}; choose from: {ENGINE_BACKENDS}"
             )
-        key = state_key(network.name, ctx.arch, mode, backend, ctx.seed)
+        key = state_key(
+            network.name, ctx.arch, mode, backend, ctx.seed, ctx.compute_dtype
+        )
         state, source = self._lookup(key)
         if state is None:
             state = program(network, ctx, mode, params=params, backend=backend)

@@ -215,6 +215,18 @@ class TiledMatmul:
         return self.row_tiles * self.col_tiles
 
     @property
+    def compute_dtype(self) -> np.dtype:
+        """Always float64: the tiled backend is the correctness reference.
+
+        ``ctx.compute_dtype`` is deliberately ignored here — the dtype-parity
+        tests compare the packed backend's float32 path against this
+        backend's (and the packed backend's) float64 numbers, so the
+        reference must never move.  The property exists so both backends
+        expose the same introspection surface.
+        """
+        return np.dtype(np.float64)
+
+    @property
     def programmed_bytes(self) -> int:
         """Bytes held by the programmed crossbar state (levels + conductances)."""
         return sum(tile.programmed_bytes for row in self._tiles for tile in row)

@@ -10,7 +10,10 @@ Five subcommands share one :class:`repro.context.SimContext`:
 * ``run`` — functional simulation: execute a model through its mapped
   crossbars with the time-domain circuit chains and report the end-to-end
   output error against the float reference; ``--state-cache`` serves the
-  programming phase from the content-keyed programmed-state cache;
+  programming phase from the content-keyed programmed-state cache,
+  ``--compute-dtype float32`` / ``--chunk-bytes`` bound arithmetic cost
+  and read-out transients, and ``--stream`` executes layer-by-layer from
+  the cached state's backing files (peak wired weights = largest layer);
 * ``program`` — the one-time phase alone: program a model's weights onto
   crossbars and persist the chip state into the cache directory that later
   ``run --state-cache`` / ``sweep --state-cache`` invocations hit;
@@ -21,8 +24,10 @@ Five subcommands share one :class:`repro.context.SimContext`:
 * ``bench`` — the tracked performance smoke: vgg_d estimation plus a cnn_1
   engine run, the im2col micro-benchmark, the program-once sweep legs
   (legacy vs shared-state vs warm pool), the programming-cache timings, a
-  branching-topology engine smoke (residual block, analog, validated) and
-  the liveness-freeing peak-memory comparison, written to a JSON artifact.
+  branching-topology engine smoke (residual block, analog, validated), the
+  liveness-freeing peak-memory comparison and the streaming section
+  (float64-vs-float32 deep forward, chunk-fused read-out peak, streamed-
+  vs-resident subprocess memory), written to a JSON artifact.
 """
 
 from __future__ import annotations
@@ -35,7 +40,13 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.circuits.noise import HardwareNoiseConfig
-from repro.context import ENGINE_BACKENDS, ArchSpec, SimContext, accelerator_factories
+from repro.context import (
+    COMPUTE_DTYPES,
+    ENGINE_BACKENDS,
+    ArchSpec,
+    SimContext,
+    accelerator_factories,
+)
 from repro.energy.estimator import NetworkEstimate, compare_accelerators
 from repro.nn.models import build_model, list_models
 from repro.nn.network import Network
@@ -49,6 +60,68 @@ def _add_arch_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cell-bits", type=int, default=4, help="bits per ReRAM cell")
     parser.add_argument("--weight-bits", type=int, default=8, help="weight precision")
     parser.add_argument("--input-bits", type=int, default=8, help="input precision")
+
+
+def _add_compute_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--compute-dtype",
+        choices=COMPUTE_DTYPES,
+        default=COMPUTE_DTYPES[0],
+        help=(
+            "packed-engine arithmetic precision: float64 (default, the "
+            "bit-exact historical path) or float32 (faster large-model "
+            "matmuls; digital recombination stays float64, and ideal-mode "
+            "layers that would lose integer exactness fall back per layer)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-bytes",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help=(
+            "bound the packed read-out working set: split the stacked "
+            "charge tensor into chunks of at most BYTES and run the "
+            "time-domain chain per chunk in place (0 = historical "
+            "single-pass read-out, bit-identical to earlier releases)"
+        ),
+    )
+
+
+def _compute_kwargs(args: argparse.Namespace) -> dict:
+    if args.chunk_bytes < 0:
+        raise ValueError("--chunk-bytes must be non-negative")
+    return {
+        "compute_dtype": args.compute_dtype,
+        "chunk_bytes": args.chunk_bytes or None,
+    }
+
+
+def _peak_rss_mb() -> Optional[float]:
+    """This process's peak resident set size in MB (``None`` if unknown).
+
+    Prefers ``VmHWM`` from ``/proc/self/status``: it is the high-water
+    mark of *this* process's address space, whereas Linux ``ru_maxrss``
+    is inherited across fork+exec — a subprocess launched from a fat
+    parent (the bench after its vgg_d leg) would otherwise report the
+    parent's peak.  Falls back to ``getrusage`` where procfs is absent
+    (``ru_maxrss`` is kilobytes on Linux, bytes on macOS).  The streaming
+    bench compares streamed vs resident subprocess runs on this figure.
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024 / 1e6
+    except OSError:  # pragma: no cover - non-Linux platform
+        pass
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    scale = 1 if sys.platform == "darwin" else 1024
+    return peak * scale / 1e6
 
 
 def _arch_from_args(args: argparse.Namespace) -> ArchSpec:
@@ -164,6 +237,18 @@ def build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="seed for weights and the input image"
     )
+    _add_compute_arguments(parser)
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "execute layer by layer against the cached state's backing "
+            "files instead of wiring the whole network up front (requires "
+            "--state-cache; implies a memory-mapped state load, so peak "
+            "weight memory is the largest single layer, not the sum — "
+            "outputs stay bit-identical to the resident path)"
+        ),
+    )
     _add_state_cache_arguments(parser)
     parser.add_argument(
         "--json", action="store_true", help="emit a JSON document instead of a table"
@@ -224,6 +309,15 @@ def build_program_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="seed of the deterministic weights"
     )
     parser.add_argument(
+        "--compute-dtype",
+        choices=COMPUTE_DTYPES,
+        default=COMPUTE_DTYPES[0],
+        help=(
+            "arithmetic precision the state is packed for (part of the "
+            "content key: a float32 state never aliases a float64 one)"
+        ),
+    )
+    parser.add_argument(
         "--state-cache",
         default=".state_cache",
         metavar="DIR",
@@ -250,7 +344,12 @@ def main_program(argv: Optional[Sequence[str]] = None) -> int:
 
     from repro.engine import EngineError, ProgrammedStateCache
 
-    ctx = SimContext(arch=arch, seed=args.seed, backend=args.backend)
+    ctx = SimContext(
+        arch=arch,
+        seed=args.seed,
+        backend=args.backend,
+        compute_dtype=args.compute_dtype,
+    )
     cache = ProgrammedStateCache(root=args.state_cache)
     start = time.perf_counter()
     try:
@@ -267,6 +366,7 @@ def main_program(argv: Optional[Sequence[str]] = None) -> int:
             "mode": args.mode,
             "backend": args.backend,
             "seed": args.seed,
+            "compute_dtype": args.compute_dtype,
             "key": state.key,
             "source": source,
             "state_mb": state.nbytes / 1e6,
@@ -386,6 +486,17 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help=(
             "model of the liveness-freeing memory comparison: peak live "
             "activations with vs without freeing (default: bottleneck_smoke)"
+        ),
+    )
+    parser.add_argument(
+        "--stream-model",
+        default="resnet_18",
+        metavar="MODEL",
+        help=(
+            "deep model of the streaming/dtype section: float64-vs-float32 "
+            "packed forward timing plus resident-vs-streamed subprocess "
+            "peak-memory comparison (default: resnet_18 — deep enough that "
+            "the gemm dominates and the per-layer memory bound is visible)"
         ),
     )
     return parser
@@ -560,6 +671,9 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
             raise ValueError("--noise scale must be non-negative")
         if args.batch < 0:
             raise ValueError("--batch must be non-negative")
+        if args.stream and args.state_cache is None:
+            raise ValueError("--stream needs --state-cache (a disk-backed state)")
+        compute = _compute_kwargs(args)
         noise = (
             HardwareNoiseConfig.scaled(args.noise, seed=args.noise_seed)
             if args.noise > 0
@@ -570,20 +684,37 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     # import here so `estimate` stays importable without the engine package
-    from repro.engine import EngineError, NetworkExecutor, ProgrammedStateCache
+    from repro.engine import (
+        EngineError,
+        NetworkExecutor,
+        ProgrammedState,
+        ProgrammedStateCache,
+    )
 
     validate = not args.no_validate
-    ctx = SimContext(arch=arch, noise=noise, seed=args.seed, backend=args.backend)
+    ctx = SimContext(
+        arch=arch, noise=noise, seed=args.seed, backend=args.backend, **compute
+    )
     start = time.perf_counter()
     try:
         if args.state_cache is not None:
             # program-once/run-many: the expensive programming phase is
             # served from the content-keyed cache when a previous
-            # invocation (or `program`) already built this chip state
-            cache = ProgrammedStateCache(root=args.state_cache, mmap=args.mmap)
+            # invocation (or `program`) already built this chip state.
+            # Streaming loads memory-mapped so the full state is never
+            # materialised in this process.
+            cache = ProgrammedStateCache(
+                root=args.state_cache, mmap=args.mmap or args.stream
+            )
             state, cache_source = cache.get_or_program(network, ctx, mode=args.mode)
+            if args.stream and state.source_path is None:
+                # freshly programmed this invocation: re-open the snapshot
+                # just written so the streamed run has backing files
+                state = ProgrammedState.load(cache.ensure_on_disk(state), mmap=True)
             program_s = time.perf_counter() - start
-            executor = NetworkExecutor(network, ctx, mode=args.mode, state=state)
+            executor = NetworkExecutor(
+                network, ctx, mode=args.mode, state=state, stream=args.stream
+            )
         else:
             cache_source = "off"
             executor = NetworkExecutor(network, ctx, mode=args.mode)
@@ -609,11 +740,16 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
             "validate": validate,
             "noise_scale": args.noise,
             "seed": args.seed,
+            "compute_dtype": args.compute_dtype,
+            "chunk_bytes": args.chunk_bytes or None,
+            "stream": args.stream,
             "crossbars": executor.crossbars,
             "rel_error": _err(result.rel_error),
             "elapsed_s": elapsed,
             "program_s": program_s,
             "run_s": run_s,
+            "peak_wired_mb": result.peak_wired_bytes / 1e6,
+            "peak_rss_mb": _peak_rss_mb(),
             "programming": {
                 "cache": cache_source,
                 "key": executor.state.key,
@@ -632,9 +768,14 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     batch_note = f", batch {args.batch}" if args.batch > 0 else ""
+    dtype_note = (
+        f", {args.compute_dtype}" if args.compute_dtype != COMPUTE_DTYPES[0] else ""
+    )
+    stream_note = ", streamed" if args.stream else ""
     print(
         f"Engine run — {args.model} ({args.mode}, {args.backend} backend, "
-        f"noise x{args.noise:g}, seed {args.seed}{batch_note})"
+        f"noise x{args.noise:g}, seed {args.seed}{batch_note}"
+        f"{dtype_note}{stream_note})"
     )
     header = f"{'layer':<22} {'kind':<8} {'xbars':>6} {'rel. error':>12}"
     print(header)
@@ -646,6 +787,8 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
     timing = f"{elapsed:.2f}s ({program_s:.2f}s programming + {run_s:.2f}s run)"
     if args.state_cache is not None:
         timing += f", state {executor.state.key}: {cache_source}"
+    if args.stream:
+        timing += f", peak wired {result.peak_wired_bytes / 1e6:.1f} MB"
     if validate:
         print(
             f"output rel. error vs float reference: {result.rel_error:.3e}  "
@@ -720,6 +863,16 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cols", type=int, default=256, help="crossbar columns")
     parser.add_argument("--weight-bits", type=int, default=8, help="weight precision")
     parser.add_argument("--input-bits", type=int, default=8, help="input precision")
+    parser.add_argument(
+        "--compute-dtype",
+        default=COMPUTE_DTYPES[0],
+        metavar="DTYPES",
+        help=(
+            "comma-separated packed-engine precisions to sweep "
+            f"(choose from: {', '.join(COMPUTE_DTYPES)}; default: float64 — "
+            "each dtype gets its own content keys and programmed state)"
+        ),
+    )
     parser.add_argument(
         "--seed",
         type=int,
@@ -797,6 +950,9 @@ def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
             cols=args.cols,
             weight_bits=args.weight_bits,
             input_bits=args.input_bits,
+            compute_dtypes=tuple(
+                _parse_list(args.compute_dtype, str, "--compute-dtype")
+            ),
         )
         if args.workers < 0:
             raise ValueError("--workers must be non-negative")
@@ -923,6 +1079,7 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         engine_net = _load_model(args.engine_model)
         branching_net = _load_model(args.branching_model)
         liveness_net = _load_model(args.liveness_model)
+        stream_net = _load_model(args.stream_model)
         _load_model(args.sweep_model)  # fail fast before the timed legs
         deep_net = _load_model(args.deep_model) if args.deep_model else None
     except KeyError as exc:
@@ -1081,6 +1238,86 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         "reduction": kept.peak_activation_bytes / freed.peak_activation_bytes,
     }
 
+    # 8. streamed / float32 / chunk-fused execution.
+    #    (a) dtype: the same deep packed analog forward at float64 vs
+    #    float32 — the gemm and read-out chain drop to single precision
+    #    while digital recombination stays double
+    dtype_runs = {
+        dtype: _timed_engine_run(
+            stream_net, SimContext(compute_dtype=dtype), "packed", None, repeats=3
+        )
+        for dtype in COMPUTE_DTYPES
+    }
+    #    (b) chunking: the section-2 cnn_1 batch with a bounded read-out
+    #    working set, against the unchunked packed peak measured above
+    chunk_bytes = 1 << 16
+    chunked = _timed_engine_run(
+        engine_net, SimContext(chunk_bytes=chunk_bytes), "packed", x, repeats=3
+    )
+    #    (c) streaming: resident vs streamed subprocess runs against one
+    #    disk-backed programmed state, compared on self-reported peak RSS
+    #    (whole process) and peak wired weight bytes (deterministic)
+    import subprocess
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ProgrammedStateCache(root=tmp).get_or_program(stream_net, SimContext())
+
+        def _stream_leg(stream: bool) -> dict:
+            cmd = [
+                sys.executable,
+                "-m",
+                "repro.sim",
+                "run",
+                "--model",
+                args.stream_model,
+                "--state-cache",
+                tmp,
+                "--no-validate",
+                "--json",
+            ]
+            if stream:
+                cmd.append("--stream")
+            proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+            return json.loads(proc.stdout)
+
+        resident_leg = _stream_leg(False)
+        streamed_leg = _stream_leg(True)
+    streaming = {
+        "model": args.stream_model,
+        "dtype": {
+            "float64_s": dtype_runs["float64"]["elapsed_s"],
+            "float32_s": dtype_runs["float32"]["elapsed_s"],
+            "float32_speedup": (
+                dtype_runs["float64"]["elapsed_s"]
+                / dtype_runs["float32"]["elapsed_s"]
+            ),
+        },
+        "chunked": {
+            "model": args.engine_model,
+            "chunk_bytes": chunk_bytes,
+            "peak_mb": chunked["peak_mb"],
+            "unchunked_peak_mb": backends["packed"]["peak_mb"],
+            "reduction": backends["packed"]["peak_mb"] / chunked["peak_mb"],
+            "elapsed_s": chunked["elapsed_s"],
+        },
+        "stream": {
+            "resident_peak_rss_mb": resident_leg["peak_rss_mb"],
+            "streamed_peak_rss_mb": streamed_leg["peak_rss_mb"],
+            "rss_reduction": (
+                resident_leg["peak_rss_mb"] / streamed_leg["peak_rss_mb"]
+                if streamed_leg["peak_rss_mb"]
+                else None
+            ),
+            "resident_peak_wired_mb": resident_leg["peak_wired_mb"],
+            "streamed_peak_wired_mb": streamed_leg["peak_wired_mb"],
+            "wired_reduction": (
+                resident_leg["peak_wired_mb"] / streamed_leg["peak_wired_mb"]
+            ),
+            "resident_run_s": resident_leg["run_s"],
+            "streamed_run_s": streamed_leg["run_s"],
+        },
+    }
+
     doc = {
         "estimator": {
             "model": args.estimator_model,
@@ -1115,6 +1352,7 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         "programming_cache": programming_cache,
         "branching": branching,
         "liveness": liveness,
+        "streaming": streaming,
         "deep_engine": deep,
     }
     with open(output, "w") as handle:
@@ -1159,6 +1397,27 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         f"{programming_cache['disk_hit_s'] * 1e3:.1f} ms disk / "
         f"{programming_cache['memory_hit_s'] * 1e3:.2f} ms memory hit "
         f"({programming_cache['state_mb']:.1f} MB state)"
+    )
+    print(
+        f"  dtype ({streaming['model']}): float64 "
+        f"{streaming['dtype']['float64_s']:.3f}s vs float32 "
+        f"{streaming['dtype']['float32_s']:.3f}s "
+        f"({streaming['dtype']['float32_speedup']:.2f}x)"
+    )
+    print(
+        f"  chunked read-out ({streaming['chunked']['model']}, "
+        f"{chunk_bytes >> 10} KB chunks): peak "
+        f"{streaming['chunked']['peak_mb']:.1f} MB vs "
+        f"{streaming['chunked']['unchunked_peak_mb']:.1f} MB unchunked "
+        f"({streaming['chunked']['reduction']:.2f}x)"
+    )
+    print(
+        f"  streaming ({streaming['model']}): wired "
+        f"{streaming['stream']['streamed_peak_wired_mb']:.1f} MB streamed vs "
+        f"{streaming['stream']['resident_peak_wired_mb']:.1f} MB resident "
+        f"({streaming['stream']['wired_reduction']:.1f}x), RSS "
+        f"{streaming['stream']['streamed_peak_rss_mb']:.0f} MB vs "
+        f"{streaming['stream']['resident_peak_rss_mb']:.0f} MB"
     )
     if deep is not None:
         print(

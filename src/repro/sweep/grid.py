@@ -22,7 +22,7 @@ import math
 from dataclasses import asdict, dataclass
 from typing import List, Tuple
 
-from repro.context import ENGINE_BACKENDS, ArchSpec, SimContext
+from repro.context import COMPUTE_DTYPES, ENGINE_BACKENDS, ArchSpec, SimContext
 
 #: engine read-out modes a sweep may run (mirrors repro.engine.tiles.MODES
 #: without importing the engine at grid-definition time)
@@ -52,6 +52,10 @@ class TrialSpec:
     cols: int = 256
     weight_bits: int = 8
     input_bits: int = 8
+    #: packed-engine arithmetic precision — a float32 campaign can run
+    #: against a float64 reference campaign without the two ever sharing a
+    #: content key (the field is part of the canonical JSON ``key``)
+    compute_dtype: str = "float64"
 
     @property
     def key(self) -> str:
@@ -81,7 +85,13 @@ class TrialSpec:
             if self.noise_scale > 0
             else None
         )
-        ctx = SimContext(arch=arch, noise=noise, seed=self.seed, backend=self.backend)
+        ctx = SimContext(
+            arch=arch,
+            noise=noise,
+            seed=self.seed,
+            backend=self.backend,
+            compute_dtype=self.compute_dtype,
+        )
         return ctx.for_trial(self.trial)
 
     def as_row(self) -> dict:
@@ -104,13 +114,14 @@ class SweepGrid:
     cols: int = 256
     weight_bits: int = 8
     input_bits: int = 8
+    compute_dtypes: Tuple[str, ...] = ("float64",)
 
     def __post_init__(self) -> None:
         # normalise away repeated grid values (e.g. `--noise-grid 0,0.5,0.5`)
         # before validation: duplicates would inflate trial counts and write
         # duplicate rows under one content key, which resume logic assumes
         # cannot happen
-        for name in ("models", "noise_scales", "cell_bits", "backends"):
+        for name in ("models", "noise_scales", "cell_bits", "backends", "compute_dtypes"):
             values = tuple(dict.fromkeys(getattr(self, name)))
             object.__setattr__(self, name, values)
         if not self.models:
@@ -131,6 +142,11 @@ class SweepGrid:
             )
         if self.mode not in SWEEP_MODES:
             raise ValueError(f"unknown mode {self.mode!r}; choose from: {SWEEP_MODES}")
+        bad_dtypes = [d for d in self.compute_dtypes if d not in COMPUTE_DTYPES]
+        if bad_dtypes or not self.compute_dtypes:
+            raise ValueError(
+                f"unknown compute dtypes {bad_dtypes}; choose from: {COMPUTE_DTYPES}"
+            )
 
     def specs(self) -> List[TrialSpec]:
         """Every trial of the grid in deterministic (canonical) order."""
@@ -147,11 +163,13 @@ class SweepGrid:
                 cols=self.cols,
                 weight_bits=self.weight_bits,
                 input_bits=self.input_bits,
+                compute_dtype=dtype,
             )
-            for model, bits, backend, scale, trial in itertools.product(
+            for model, bits, backend, dtype, scale, trial in itertools.product(
                 self.models,
                 self.cell_bits,
                 self.backends,
+                self.compute_dtypes,
                 self.noise_scales,
                 range(self.trials),
             )
@@ -162,6 +180,7 @@ class SweepGrid:
             len(self.models)
             * len(self.cell_bits)
             * len(self.backends)
+            * len(self.compute_dtypes)
             * len(self.noise_scales)
             * self.trials
         )
@@ -169,6 +188,6 @@ class SweepGrid:
     def to_dict(self) -> dict:
         """JSON-serialisable description (lists instead of tuples)."""
         doc = asdict(self)
-        for name in ("models", "noise_scales", "cell_bits", "backends"):
+        for name in ("models", "noise_scales", "cell_bits", "backends", "compute_dtypes"):
             doc[name] = list(doc[name])
         return doc

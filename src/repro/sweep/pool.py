@@ -171,7 +171,10 @@ def _group_key(spec: TrialSpec) -> str:
 
     Noise scale and trial index are deliberately absent — the state is
     noise-free, so every Monte-Carlo trial of one
-    ``(model, arch, mode, backend, seed)`` group shares one programming.
+    ``(model, arch, mode, backend, seed, compute_dtype)`` group shares one
+    programming.  The compute dtype **is** present: a float32 payload holds
+    different bytes than a float64 one, so mixed-precision campaigns must
+    not alias in the cache.
     """
     from repro.context import ArchSpec
     from repro.engine.state import state_key
@@ -183,7 +186,9 @@ def _group_key(spec: TrialSpec) -> str:
         weight_bits=spec.weight_bits,
         input_bits=spec.input_bits,
     )
-    return state_key(spec.model, arch, spec.mode, spec.backend, spec.seed)
+    return state_key(
+        spec.model, arch, spec.mode, spec.backend, spec.seed, spec.compute_dtype
+    )
 
 
 @dataclass(frozen=True)

@@ -261,6 +261,55 @@ def test_run_state_cache_table_reports_source(tmp_path, capsys):
     assert ": disk" in capsys.readouterr().out
 
 
+def test_run_compute_dtype_and_chunking(capsys):
+    base = ["run", "--model", "tiny_cnn", "--json"]
+    assert cli.main(base) == 0
+    f64 = json.loads(capsys.readouterr().out)
+    assert f64["compute_dtype"] == "float64" and f64["chunk_bytes"] is None
+    assert cli.main(base + ["--compute-dtype", "float32"]) == 0
+    f32 = json.loads(capsys.readouterr().out)
+    assert f32["compute_dtype"] == "float32"
+    # float32 stays at the same 8-bit quantisation floor
+    assert f32["rel_error"] <= 1.5 * f64["rel_error"]
+    assert cli.main(base + ["--chunk-bytes", "8192"]) == 0
+    chunked = json.loads(capsys.readouterr().out)
+    assert chunked["chunk_bytes"] == 8192
+    # chunk-fused read-out agrees to float rounding; at this size exactly
+    assert abs(chunked["rel_error"] - f64["rel_error"]) < 1e-9
+    assert cli.main(base + ["--chunk-bytes", "-1"]) == 2
+
+
+def test_run_stream_matches_resident_and_bounds_wired_peak(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    base = ["run", "--model", "tiny_cnn", "--json", "--state-cache", cache]
+    assert cli.main(base) == 0
+    resident = json.loads(capsys.readouterr().out)
+    assert cli.main(base + ["--stream"]) == 0
+    streamed = json.loads(capsys.readouterr().out)
+    assert streamed["stream"] and not resident["stream"]
+    assert streamed["rel_error"] == resident["rel_error"]
+    assert streamed["layers"] == resident["layers"]
+    assert 0 < streamed["peak_wired_mb"] < resident["peak_wired_mb"]
+    assert streamed["peak_rss_mb"] is None or streamed["peak_rss_mb"] > 0
+
+
+def test_run_stream_streams_even_when_it_programs_cold(tmp_path, capsys):
+    """--stream on a cold cache re-opens the just-written snapshot."""
+    args = [
+        "run", "--model", "tiny_mlp", "--json",
+        "--state-cache", str(tmp_path / "cache"), "--stream",
+    ]
+    assert cli.main(args) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["programming"]["cache"] == "programmed"
+    assert doc["stream"] is True and doc["peak_wired_mb"] > 0
+
+
+def test_run_stream_without_state_cache_exits_2(capsys):
+    assert cli.main(["run", "--model", "tiny_cnn", "--stream"]) == 2
+    assert "--state-cache" in capsys.readouterr().err
+
+
 # ---------------------------------------------------------------------------
 # sweep
 # ---------------------------------------------------------------------------
@@ -355,6 +404,31 @@ def test_sweep_unknown_backend_exits_2(tmp_path, capsys):
     assert "invalid sweep configuration" in capsys.readouterr().err
 
 
+def test_sweep_compute_dtype_axis(tmp_path, capsys):
+    args = _sweep_args(tmp_path, "--compute-dtype", "float64,float32", "--json")
+    assert cli.main(args) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["grid"]["compute_dtypes"] == ["float64", "float32"]
+    assert doc["trials"] == doc["computed"] == 8  # 2 dtypes x 2 scales x 2
+    assert cli.main(_sweep_args(tmp_path, "--compute-dtype", "float16")) == 2
+    assert "invalid sweep configuration" in capsys.readouterr().err
+
+
+def test_program_compute_dtype_gets_its_own_key(tmp_path, capsys):
+    base = [
+        "program", "--model", "tiny_mlp", "--json",
+        "--state-cache", str(tmp_path / "cache"),
+    ]
+    assert cli.main(base) == 0
+    f64 = json.loads(capsys.readouterr().out)
+    assert cli.main(base + ["--compute-dtype", "float32"]) == 0
+    f32 = json.loads(capsys.readouterr().out)
+    assert f32["compute_dtype"] == "float32"
+    assert f32["source"] == "programmed"  # no aliasing with the f64 entry
+    assert f32["key"] != f64["key"]
+    assert f32["state_mb"] < f64["state_mb"]  # half-width payload
+
+
 # ---------------------------------------------------------------------------
 # bench
 # ---------------------------------------------------------------------------
@@ -374,6 +448,8 @@ def test_bench_writes_artifact(tmp_path, capsys):
             "tiny_cnn",
             "--sweep-trials",
             "2",
+            "--stream-model",
+            "tiny_cnn",
         ]
     ) == 0
     doc = json.loads(out_path.read_text())
@@ -413,6 +489,18 @@ def test_bench_writes_artifact(tmp_path, capsys):
     assert cache["sources"] == ["programmed", "disk", "memory"]
     assert cache["program_s"] > cache["memory_hit_s"]
     assert cache["state_mb"] > 0 and len(cache["key"]) == 16
+    # streaming section: dtype timing, chunked peak, subprocess memory legs
+    streaming = doc["streaming"]
+    assert streaming["model"] == "tiny_cnn"
+    assert streaming["dtype"]["float64_s"] > 0
+    assert streaming["dtype"]["float32_s"] > 0
+    assert streaming["dtype"]["float32_speedup"] > 0
+    assert streaming["chunked"]["peak_mb"] > 0
+    assert streaming["chunked"]["unchunked_peak_mb"] > 0
+    stream = streaming["stream"]
+    assert stream["streamed_peak_wired_mb"] < stream["resident_peak_wired_mb"]
+    assert stream["resident_peak_rss_mb"] > 0
+    assert stream["streamed_peak_rss_mb"] > 0
     assert doc["deep_engine"] is None  # no --deep-model given
 
 

@@ -15,6 +15,7 @@ from repro.engine import (
     program,
     state_key,
 )
+from repro.engine.state import STATE_FORMAT
 from repro.nn.models import build_model
 
 #: cell splits exercised by the round-trip matrix: 8-bit weights over
@@ -164,7 +165,9 @@ def test_load_rejects_missing_and_wrong_format(tmp_path):
     state = program(build_model("tiny_mlp"), SimContext())
     path = state.save(tmp_path / "state")
     meta = path / "meta.json"
-    meta.write_text(meta.read_text().replace('"format": 1', '"format": 999'))
+    meta.write_text(
+        meta.read_text().replace(f'"format": {STATE_FORMAT}', '"format": 999')
+    )
     with pytest.raises(EngineError, match="format"):
         ProgrammedState.load(path)
 

@@ -402,3 +402,61 @@ def test_noisy_output_is_independent_of_unrelated_noise_consumption():
     noise.sample(1.0, (1024,), salt="elsewhere")
     NetworkExecutor(build_model("tiny_mlp"), SimContext(noise=noise))
     np.testing.assert_array_equal(NetworkExecutor(network, ctx).run(x).output, baseline)
+
+
+# ---------------------------------------------------------------------------
+# compute-dtype as a grid axis
+# ---------------------------------------------------------------------------
+
+def test_grid_expands_compute_dtypes_and_counts_them():
+    grid = SweepGrid(
+        models=("tiny_cnn",),
+        noise_scales=(0.0,),
+        trials=2,
+        compute_dtypes=("float64", "float32"),
+    )
+    specs = grid.specs()
+    assert len(specs) == len(grid) == 2 * 2
+    assert {spec.compute_dtype for spec in specs} == {"float64", "float32"}
+    assert grid.to_dict()["compute_dtypes"] == ["float64", "float32"]
+    with pytest.raises(ValueError):
+        SweepGrid(models=("tiny_cnn",), compute_dtypes=("float16",))
+
+
+def test_trial_keys_distinguish_compute_dtypes():
+    """A float32 campaign must never collide with a float64 one: neither in
+    the result store (trial content keys) nor in the programmed-state cache
+    (group keys)."""
+    from repro.sweep.pool import _group_key
+
+    f64 = TrialSpec(model="tiny_cnn", noise_scale=0.5, trial=1)
+    f32 = TrialSpec(
+        model="tiny_cnn", noise_scale=0.5, trial=1, compute_dtype="float32"
+    )
+    assert f64.compute_dtype == "float64"  # the historical default
+    assert f64.key != f32.key
+    assert _group_key(f64) != _group_key(f32)
+    assert f64.as_row()["compute_dtype"] == "float64"
+    assert f32.as_row()["compute_dtype"] == "float32"
+
+
+def test_trial_context_carries_the_compute_dtype():
+    spec = TrialSpec(
+        model="tiny_cnn", noise_scale=0.0, trial=0, compute_dtype="float32"
+    )
+    assert spec.context().compute_dtype == "float32"
+
+
+def test_mixed_dtype_sweep_runs_and_stays_at_the_floor(tmp_path):
+    """One grid, both precisions: rows land under distinct keys and the
+    float32 rows stay at the same quantisation floor as float64's."""
+    grid = SweepGrid(
+        models=("tiny_cnn",),
+        noise_scales=(0.0,),
+        trials=1,
+        compute_dtypes=("float64", "float32"),
+    )
+    outcome = run_sweep(grid, SweepStore(tmp_path / "mixed.jsonl"), workers=1)
+    by_dtype = {row["compute_dtype"]: row for row in outcome.rows}
+    assert set(by_dtype) == {"float64", "float32"}
+    assert by_dtype["float32"]["rel_error"] <= 1.5 * by_dtype["float64"]["rel_error"]
