@@ -202,6 +202,11 @@ class TimeDomainDotProduct:
             area_um2=base.area_um2,
         )
         self.phase2_current_a = self.spec.phase2_current_a
+        #: optional early read-out saturation (see repro.faults): when set,
+        #: dot-product estimates clip at this fraction of :attr:`dot_max`
+        #: instead of the chain's own full-scale ceiling.  ``None`` (the
+        #: default) keeps the historical unclipped behaviour.
+        self.clip_fraction: Optional[float] = None
 
     @property
     def dot_max(self) -> float:
@@ -241,7 +246,10 @@ class TimeDomainDotProduct:
         """Dot-product estimate in integer (input-level x weight-level) units."""
         times = self.output_times(codes, noise)
         lsb_s = self.dtc.full_scale_s / self.dot_max
-        return times / lsb_s
+        estimates = times / lsb_s
+        if self.clip_fraction is not None:
+            estimates = np.minimum(estimates, self.clip_fraction * self.dot_max)
+        return estimates
 
 
 class SubRangingDotProduct:

@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.circuits.noise import HardwareNoiseConfig
     from repro.circuits.reram import ReRAMCellSpec, ReRAMCrossbar
     from repro.energy.tables import AcceleratorSpec
+    from repro.faults import FaultModel
     from repro.mapping.crossbar_mapping import NetworkMapping
     from repro.nn.network import Network
 
@@ -65,10 +66,19 @@ class ArchSpec:
     t_del_s: float = 50e-12
     #: supply driving the rows during phase I
     v_dd: float = 1.2
+    #: spare crossbar rows provisioned for redundancy remap: when a tile's
+    #: stuck-cell fraction (see :mod:`repro.faults`) exceeds the fault
+    #: model's threshold, up to this many of its worst rows are remapped
+    #: onto spares.  Purely a run-time repair budget — it does not change
+    #: the mapping geometry or the programmed-state content key, so it is
+    #: excluded from equality/hashing and cached states stay reusable.
+    spare_rows: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         if self.rows <= 0 or self.cols <= 0:
             raise ValueError("crossbar dimensions must be positive")
+        if self.spare_rows < 0:
+            raise ValueError("spare_rows must be non-negative")
         if self.cell_bits <= 0 or self.weight_bits <= 0 or self.input_bits <= 0:
             raise ValueError("bit widths must be positive")
         if self.r_min_ohm <= 0 or self.r_max_ohm <= self.r_min_ohm:
@@ -211,6 +221,11 @@ class SimContext:
     backend: str = ENGINE_BACKENDS[0]
     compute_dtype: str = COMPUTE_DTYPES[0]
     chunk_bytes: Optional[int] = None
+    #: hard-fault model (stuck cells / drift / read-out saturation, see
+    #: :mod:`repro.faults`); ``None`` = a defect-free chip.  Faults perturb
+    #: analog executions only — ideal mode stays the exact reference — and
+    #: are applied at wiring time, so programmed states stay fault-free.
+    faults: Optional["FaultModel"] = None
 
     # A SimContext is a bag of plain dataclasses (ArchSpec, the stateless
     # HardwareNoiseConfig) and scalars, so it pickles cleanly across the
@@ -259,20 +274,29 @@ class SimContext:
         """A copy of this context for Monte-Carlo trial ``trial``.
 
         Weights and inputs (driven by ``seed``) stay fixed while the noise
-        seed is re-derived from ``(noise.seed, trial)``, so each trial draws
-        an independent — and independently reproducible — noise realisation.
-        With no noise model attached this is a plain copy.
+        and fault seeds are re-derived from ``(seed, trial)``, so each trial
+        draws an independent — and independently reproducible — noise
+        realisation and chip (fault) realisation.  With neither a noise nor
+        a fault model attached this is a plain copy.
         """
-        if self.noise is None:
-            return replace(self)
-        from repro.circuits.noise import stable_seed
+        updates: dict = {}
+        if self.noise is not None:
+            from repro.circuits.noise import stable_seed
 
-        noise = replace(self.noise, seed=stable_seed(self.noise.seed, "trial", trial))
-        return replace(self, noise=noise)
+            updates["noise"] = replace(
+                self.noise, seed=stable_seed(self.noise.seed, "trial", trial)
+            )
+        if self.faults is not None:
+            updates["faults"] = self.faults.for_trial(trial)
+        return replace(self, **updates)
 
     def with_noise(self, noise: Optional["HardwareNoiseConfig"]) -> "SimContext":
         """A copy of this context with a different noise model."""
         return replace(self, noise=noise)
+
+    def with_faults(self, faults: Optional["FaultModel"]) -> "SimContext":
+        """A copy of this context with a different fault model."""
+        return replace(self, faults=faults)
 
     def ideal(self) -> "SimContext":
         """A copy of this context with all noise sources disabled."""

@@ -25,6 +25,7 @@ the packed and tiled execution paths.
 """
 
 from repro.engine.errors import EngineError
+from repro.faults import FaultModel, FaultReport
 from repro.engine.executor import (
     ExecutionResult,
     LayerTrace,
@@ -51,6 +52,8 @@ from repro.engine.tiles import TiledMatmul
 
 __all__ = [
     "EngineError",
+    "FaultModel",
+    "FaultReport",
     "ExecutionResult",
     "LayerTrace",
     "LayerState",

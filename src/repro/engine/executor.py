@@ -99,13 +99,18 @@ def relative_error(estimate: np.ndarray, reference: np.ndarray) -> float:
 class LayerTrace:
     """Per-layer record of one engine run.
 
-    ``rel_error`` is NaN when the run skipped validation.
+    ``rel_error`` is NaN when the run skipped validation.  ``stuck_cells``
+    and ``remapped_rows`` count the layer's surviving stuck cells and the
+    rows remapped onto spares (see :mod:`repro.faults`); both are zero when
+    no fault model is active.
     """
 
     name: str
     kind: str
     crossbars: int
     rel_error: float
+    stuck_cells: int = 0
+    remapped_rows: int = 0
 
 
 @dataclass(frozen=True)
@@ -134,6 +139,10 @@ class ExecutionResult:
     traces: List[LayerTrace] = field(default_factory=list)
     peak_activation_bytes: int = 0
     peak_wired_bytes: int = 0
+    #: network-wide fault totals (sums of the per-layer trace counts);
+    #: zero when the context carries no fault model
+    stuck_cells: int = 0
+    remapped_rows: int = 0
 
     @property
     def rel_error(self) -> float:
@@ -349,6 +358,21 @@ class _MappedComputeLayer:
         if self._packed is not None:
             return self._packed.crossbars
         return sum(group.crossbars for group in self._groups)
+
+    @property
+    def fault_report(self):
+        """Merged :class:`repro.faults.FaultReport` of this layer (or ``None``)."""
+        if self._packed is not None:
+            return self._packed.fault_report
+        reports = [g.fault_report for g in self._groups if g.fault_report is not None]
+        if not reports:
+            return None
+        from repro.faults import FaultReport
+
+        merged = FaultReport()
+        for report in reports:
+            merged.merge(report)
+        return merged
 
     @property
     def programmed_bytes(self) -> int:
@@ -639,13 +663,21 @@ class NetworkExecutor:
         live: Dict[str, np.ndarray] = {NETWORK_INPUT: batch}
         peak_bytes = _live_buffer_bytes(live.values())
         peak_wired = 0 if self.stream else self.programmed_bytes
+        total_stuck = total_remapped = 0
         traces: List[LayerTrace] = []
         for inst in order:
             operands = [live[src] for src in inst.inputs]
+            layer_stuck = layer_remapped = 0
             if inst.name in self._positions:
                 mapped = self._wire_layer(inst.name)
                 out = mapped.forward(operands[0], self.ctx.arch.input_bits)
                 crossbars = mapped.crossbars
+                report = mapped.fault_report
+                if report is not None:
+                    layer_stuck = report.stuck_cells
+                    layer_remapped = report.remapped_rows
+                    total_stuck += layer_stuck
+                    total_remapped += layer_remapped
                 if self.stream:
                     peak_wired = max(peak_wired, mapped.programmed_bytes)
                     # drop the streamed layer (and its file handles) before
@@ -667,6 +699,8 @@ class NetworkExecutor:
                         if ref_acts is not None
                         else float("nan")
                     ),
+                    stuck_cells=layer_stuck,
+                    remapped_rows=layer_remapped,
                 )
             )
             live[inst.name] = out
@@ -692,6 +726,8 @@ class NetworkExecutor:
             traces=traces,
             peak_activation_bytes=peak_bytes,
             peak_wired_bytes=peak_wired,
+            stuck_cells=total_stuck,
+            remapped_rows=total_remapped,
         )
 
 

@@ -320,6 +320,46 @@ class PackedMatmul:
             ]
         else:
             self._conductances = list(conductances)
+
+        # hard faults (stuck cells / drift / saturation): wiring-time, like
+        # variation, so the shared payload — possibly a read-only mmap of a
+        # cached ProgrammedState — is never mutated and stays fault-free
+        faults = ctx.faults
+        self.fault_report = None
+        self._saturation = None
+        if mode == "analog" and faults is not None and faults.active:
+            if faults.cell_active:
+                from repro.faults import FaultReport, apply_tile_faults
+
+                varied = (
+                    program_noise is not None
+                    and program_noise.reram_conductance_sigma > 0
+                )
+                if not varied:
+                    # the variation path above already produced fresh
+                    # writable tensors; otherwise fault on private copies
+                    self._conductances = [
+                        c.copy(order="K") for c in self._conductances
+                    ]
+                cell = arch.cell_spec()
+                report = FaultReport()
+                for g in range(self.n_groups):
+                    for rt, (r0, height) in enumerate(self._row_spans):
+                        views = [
+                            c[g, r0 : r0 + height, :] for c in self._conductances
+                        ]
+                        report.merge(
+                            apply_tile_faults(
+                                views,
+                                cell,
+                                faults,
+                                arch.spare_rows,
+                                ("packed", *salt_parts, "fault", g, rt),
+                            )
+                        )
+                self.fault_report = report
+            if faults.readout_saturation is not None:
+                self._saturation = float(faults.readout_saturation)
         # exactness bound for the float integer matmul of the ideal path,
         # checked at the *stored* precision (pack_weights already widened
         # a float32 request that could not stay exact)
@@ -463,6 +503,14 @@ class PackedMatmul:
                     np.matmul(d, conductances[:, r0 : r0 + height, :], out=block[rt, s])
             block *= v_dd
             estimates = spec.read_out(block, sums, out=block)
+            if self._saturation is not None:
+                # early TDC clipping: per-slice estimates above the
+                # saturation point resolve to the saturation code itself
+                np.minimum(
+                    estimates,
+                    dtype.type(self._saturation * spec.dot_max),
+                    out=estimates,
+                )
             # recombine: sum over row tiles (t), slice cascade weights over s
             np.einsum("s,tsgpc->gpc", self.shifts, estimates, out=out[:, p0 : p0 + n])
         return out

@@ -277,7 +277,20 @@ class ProgrammedState:
         meta_file = path / _META_NAME
         if not meta_file.is_file():
             raise EngineError(f"no programmed state at {path} (missing {_META_NAME})")
-        meta = json.loads(meta_file.read_text())
+        try:
+            meta = json.loads(meta_file.read_text())
+        except (OSError, ValueError) as exc:
+            # a torn/truncated manifest (crashed writer, disk-full) must
+            # surface as a clear engine error naming the entry, not leak
+            # json.JSONDecodeError to the caller
+            raise EngineError(
+                f"corrupt programmed state at {path}: cannot parse "
+                f"{_META_NAME} ({exc})"
+            ) from exc
+        if not isinstance(meta, dict):
+            raise EngineError(
+                f"corrupt programmed state at {path}: {_META_NAME} is not a manifest"
+            )
         if meta.get("format") != STATE_FORMAT:
             raise EngineError(
                 f"programmed state at {path} has format {meta.get('format')!r}; "
@@ -290,34 +303,42 @@ class ProgrammedState:
                 return None
             return np.load(path / name, mmap_mode=mmap_mode)
 
-        layers = [
-            LayerState(
-                name=entry["name"],
-                index=entry["index"],
-                kind=entry["kind"],
-                out_channels=entry["out_channels"],
-                n_groups=entry["n_groups"],
-                w_scales=pull(entry["w_scales"]),
-                bias=pull(entry["bias"]),
-                stride=entry["stride"],
-                pad=entry["pad"],
-                kernel=entry["kernel"],
-                q=pull(entry["q"]),
-                encoded=pull(entry["encoded"]),
-                conductances=[pull(name) for name in entry["conductances"]],
+        try:
+            layers = [
+                LayerState(
+                    name=entry["name"],
+                    index=entry["index"],
+                    kind=entry["kind"],
+                    out_channels=entry["out_channels"],
+                    n_groups=entry["n_groups"],
+                    w_scales=pull(entry["w_scales"]),
+                    bias=pull(entry["bias"]),
+                    stride=entry["stride"],
+                    pad=entry["pad"],
+                    kernel=entry["kernel"],
+                    q=pull(entry["q"]),
+                    encoded=pull(entry["encoded"]),
+                    conductances=[pull(name) for name in entry["conductances"]],
+                )
+                for entry in meta["layers"]
+            ]
+            return cls(
+                model=meta["model"],
+                mode=meta["mode"],
+                backend=meta["backend"],
+                seed=meta["seed"],
+                arch=ArchSpec(**meta["arch"]),
+                layers=layers,
+                compute_dtype=meta.get("compute_dtype", "float64"),
+                source_path=path,
             )
-            for entry in meta["layers"]
-        ]
-        return cls(
-            model=meta["model"],
-            mode=meta["mode"],
-            backend=meta["backend"],
-            seed=meta["seed"],
-            arch=ArchSpec(**meta["arch"]),
-            layers=layers,
-            compute_dtype=meta.get("compute_dtype", "float64"),
-            source_path=path,
-        )
+        except (KeyError, TypeError, OSError, ValueError) as exc:
+            # missing manifest fields, a deleted/truncated tensor file, or
+            # an unbuildable ArchSpec: all the partially-written cases
+            raise EngineError(
+                f"corrupt programmed state at {path}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
 
     def stream_layer(self, position: int, mmap: bool = True) -> LayerState:
         """Layer ``position`` (index into ``layers``) on **fresh file handles**.
@@ -337,7 +358,6 @@ class ProgrammedState:
         if self.source_path is None:
             return template
         path = Path(self.source_path)
-        entry = json.loads((path / _META_NAME).read_text())["layers"][position]
         mmap_mode = "r" if mmap else None
 
         def pull(name: Optional[str]) -> Optional[np.ndarray]:
@@ -345,21 +365,28 @@ class ProgrammedState:
                 return None
             return np.load(path / name, mmap_mode=mmap_mode)
 
-        return LayerState(
-            name=entry["name"],
-            index=entry["index"],
-            kind=entry["kind"],
-            out_channels=entry["out_channels"],
-            n_groups=entry["n_groups"],
-            w_scales=pull(entry["w_scales"]),
-            bias=pull(entry["bias"]),
-            stride=entry["stride"],
-            pad=entry["pad"],
-            kernel=entry["kernel"],
-            q=pull(entry["q"]),
-            encoded=pull(entry["encoded"]),
-            conductances=[pull(name) for name in entry["conductances"]],
-        )
+        try:
+            entry = json.loads((path / _META_NAME).read_text())["layers"][position]
+            return LayerState(
+                name=entry["name"],
+                index=entry["index"],
+                kind=entry["kind"],
+                out_channels=entry["out_channels"],
+                n_groups=entry["n_groups"],
+                w_scales=pull(entry["w_scales"]),
+                bias=pull(entry["bias"]),
+                stride=entry["stride"],
+                pad=entry["pad"],
+                kernel=entry["kernel"],
+                q=pull(entry["q"]),
+                encoded=pull(entry["encoded"]),
+                conductances=[pull(name) for name in entry["conductances"]],
+            )
+        except (KeyError, IndexError, TypeError, OSError, ValueError) as exc:
+            raise EngineError(
+                f"corrupt programmed state at {path}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
 
 
 class ProgrammedStateCache:
@@ -386,6 +413,10 @@ class ProgrammedStateCache:
         self._memory: "OrderedDict[str, ProgrammedState]" = OrderedDict()
         #: hit/miss counters by source, for reporting and tests
         self.counts = {"memory": 0, "disk": 0, "programmed": 0}
+        #: corrupt on-disk entries evicted by :meth:`_lookup` (kept out of
+        #: ``counts``, whose keys are the stable source vocabulary callers
+        #: assert on; an eviction always shows up as a "programmed" miss)
+        self.evicted = 0
 
     def path_for(self, key: str) -> Optional[Path]:
         """Disk location of ``key`` (``None`` for a memory-only cache)."""
@@ -410,7 +441,15 @@ class ProgrammedStateCache:
             return self._memory[key], "memory"
         path = self.path_for(key)
         if path is not None and (path / _META_NAME).is_file():
-            state = ProgrammedState.load(path, mmap=self.mmap)
+            try:
+                state = ProgrammedState.load(path, mmap=self.mmap)
+            except EngineError:
+                # a partially-written/corrupt entry (crashed writer) must
+                # not fail the run: evict it and let the caller re-program —
+                # the content-keyed save then atomically replaces the entry
+                shutil.rmtree(path, ignore_errors=True)
+                self.evicted += 1
+                return None, None
             self._remember(key, state)
             return state, "disk"
         return None, None

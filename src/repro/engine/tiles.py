@@ -43,6 +43,24 @@ from repro.engine.errors import EngineError
 MODES = ("analog", "ideal")
 
 
+def _tile_crossbars(tile) -> list:
+    """A tile's physical crossbars in ascending-slice (LSB-first) order."""
+    if isinstance(tile, _SingleCellTile):
+        return [tile.crossbar]
+    if isinstance(tile, SubRangingDotProduct):
+        return [tile.lsb_crossbar, tile.msb_crossbar]
+    return [s.crossbar for s in tile.slices]
+
+
+def _tile_chains(tile) -> list:
+    """A tile's time-domain chains, parallel to :func:`_tile_crossbars`."""
+    if isinstance(tile, _SingleCellTile):
+        return [tile.chain]
+    if isinstance(tile, SubRangingDotProduct):
+        return [tile.lsb_chain, tile.msb_chain]
+    return [s.chain for s in tile.slices]
+
+
 class _SingleCellTile:
     """One crossbar tile for weights that fit a single bit-cell column.
 
@@ -208,6 +226,37 @@ class TiledMatmul:
                 read_row.append(tile_stream("read", rt, ct))
             self._tiles.append(row)
             self._read_noise.append(read_row)
+
+        # hard faults (stuck cells / drift / saturation): applied to the
+        # per-tile conductance arrays after programming variation, with a
+        # per-(tile, salt) stateless mask so results are construction-order
+        # free — the tiled analogue of the packed backend's wiring-time hook
+        faults = ctx.faults
+        self.fault_report = None
+        if mode == "analog" and faults is not None and faults.active:
+            if faults.cell_active:
+                from repro.faults import FaultReport, apply_tile_faults
+
+                cell = arch.cell_spec()
+                report = FaultReport()
+                for rt, row in enumerate(self._tiles):
+                    for ct, tile in enumerate(row):
+                        views = [xb._conductances for xb in _tile_crossbars(tile)]
+                        report.merge(
+                            apply_tile_faults(
+                                views,
+                                cell,
+                                faults,
+                                arch.spare_rows,
+                                ("tiled", *salt_parts, "fault", rt, ct),
+                            )
+                        )
+                self.fault_report = report
+            if faults.readout_saturation is not None:
+                for row in self._tiles:
+                    for tile in row:
+                        for chain in _tile_chains(tile):
+                            chain.clip_fraction = float(faults.readout_saturation)
 
     @property
     def crossbars(self) -> int:

@@ -97,29 +97,33 @@ def _compute_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
-def _peak_rss_mb() -> Optional[float]:
+def _peak_rss_mb(status_path: str = "/proc/self/status") -> Optional[float]:
     """This process's peak resident set size in MB (``None`` if unknown).
 
     Prefers ``VmHWM`` from ``/proc/self/status``: it is the high-water
     mark of *this* process's address space, whereas Linux ``ru_maxrss``
     is inherited across fork+exec — a subprocess launched from a fat
     parent (the bench after its vgg_d leg) would otherwise report the
-    parent's peak.  Falls back to ``getrusage`` where procfs is absent
-    (``ru_maxrss`` is kilobytes on Linux, bytes on macOS).  The streaming
-    bench compares streamed vs resident subprocess runs on this figure.
+    parent's peak.  Falls back to ``getrusage`` where procfs is absent or
+    malformed (``ru_maxrss`` is kilobytes on Linux, bytes on macOS), and
+    degrades to ``None`` — never an exception — when neither source works:
+    memory reporting must not take down a run on an exotic platform.  The
+    streaming bench compares streamed vs resident subprocess runs on this
+    figure and tolerates the ``None``.
     """
     try:
-        with open("/proc/self/status") as handle:
+        with open(status_path) as handle:
             for line in handle:
                 if line.startswith("VmHWM:"):
                     return int(line.split()[1]) * 1024 / 1e6
-    except OSError:  # pragma: no cover - non-Linux platform
+    except (OSError, ValueError, IndexError):  # pragma: no cover - odd procfs
         pass
     try:
         import resource
-    except ImportError:  # pragma: no cover - non-POSIX platform
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX platform
         return None
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     scale = 1 if sys.platform == "darwin" else 1024
     return peak * scale / 1e6
 
@@ -131,7 +135,89 @@ def _arch_from_args(args: argparse.Namespace) -> ArchSpec:
         cell_bits=args.cell_bits,
         weight_bits=args.weight_bits,
         input_bits=args.input_bits,
+        spare_rows=getattr(args, "spare_rows", 0),
     )
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "fault injection",
+        "seed-stable hardware fault model (see repro.faults); all off by default",
+    )
+    group.add_argument(
+        "--stuck-on",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="fraction of cells stuck at G_on (shorted low-resistance state)",
+    )
+    group.add_argument(
+        "--stuck-off",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="fraction of cells stuck at G_off (open high-resistance state)",
+    )
+    group.add_argument(
+        "--drift-time",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="conductance drift: seconds since programming (0 = no drift)",
+    )
+    group.add_argument(
+        "--drift-nu",
+        type=float,
+        default=0.0,
+        metavar="NU",
+        help="drift exponent of the (1 + t/t0)^-nu decay law",
+    )
+    group.add_argument(
+        "--saturation",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help=(
+            "read-out saturation: clip per-tile dot-product estimates at "
+            "FRAC of the chain's full-scale output (1.0 = exactly no-op)"
+        ),
+    )
+    group.add_argument(
+        "--spare-rows",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "redundant crossbar rows per tile: tiles whose stuck fraction "
+            "exceeds --remap-threshold remap their N worst rows onto spares"
+        ),
+    )
+    group.add_argument(
+        "--remap-threshold",
+        type=float,
+        default=0.02,
+        metavar="FRAC",
+        help="stuck-cell fraction above which a tile engages its spare rows",
+    )
+    group.add_argument(
+        "--fault-seed", type=int, default=0, help="seed of the fault masks"
+    )
+
+
+def _fault_model_from_args(args: argparse.Namespace):
+    """The :class:`repro.faults.FaultModel` the flags describe (or ``None``)."""
+    from repro.faults import FaultModel
+
+    model = FaultModel(
+        stuck_on_fraction=args.stuck_on,
+        stuck_off_fraction=args.stuck_off,
+        drift_nu=args.drift_nu,
+        drift_time_s=args.drift_time,
+        readout_saturation=args.saturation,
+        remap_threshold=args.remap_threshold,
+        seed=args.fault_seed,
+    )
+    return model if model.active else None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -238,6 +324,7 @@ def build_run_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="seed for weights and the input image"
     )
     _add_compute_arguments(parser)
+    _add_fault_arguments(parser)
     parser.add_argument(
         "--stream",
         action="store_true",
@@ -679,6 +766,12 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
             if args.noise > 0
             else None
         )
+        faults = _fault_model_from_args(args)
+        if faults is not None and args.mode != "analog":
+            raise ValueError(
+                "fault injection needs --mode analog (ideal mode has no "
+                "conductances to corrupt)"
+            )
     except ValueError as exc:
         print(f"invalid configuration: {exc}", file=sys.stderr)
         return 2
@@ -693,7 +786,12 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
 
     validate = not args.no_validate
     ctx = SimContext(
-        arch=arch, noise=noise, seed=args.seed, backend=args.backend, **compute
+        arch=arch,
+        noise=noise,
+        seed=args.seed,
+        backend=args.backend,
+        faults=faults,
+        **compute,
     )
     start = time.perf_counter()
     try:
@@ -754,12 +852,36 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
                 "cache": cache_source,
                 "key": executor.state.key,
             },
+            "faults": (
+                {
+                    "stuck_on_fraction": faults.stuck_on_fraction,
+                    "stuck_off_fraction": faults.stuck_off_fraction,
+                    "drift_nu": faults.drift_nu,
+                    "drift_time_s": faults.drift_time_s,
+                    "readout_saturation": faults.readout_saturation,
+                    "remap_threshold": faults.remap_threshold,
+                    "spare_rows": arch.spare_rows,
+                    "seed": faults.seed,
+                    "stuck_cells": result.stuck_cells,
+                    "remapped_rows": result.remapped_rows,
+                }
+                if faults is not None
+                else None
+            ),
             "layers": [
                 {
                     "name": trace.name,
                     "kind": trace.kind,
                     "crossbars": trace.crossbars,
                     "rel_error": _err(trace.rel_error),
+                    **(
+                        {
+                            "stuck_cells": trace.stuck_cells,
+                            "remapped_rows": trace.remapped_rows,
+                        }
+                        if faults is not None
+                        else {}
+                    ),
                 }
                 for trace in result.traces
             ],
@@ -789,6 +911,13 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
         timing += f", state {executor.state.key}: {cache_source}"
     if args.stream:
         timing += f", peak wired {result.peak_wired_bytes / 1e6:.1f} MB"
+    if faults is not None:
+        print(
+            f"faults: {result.stuck_cells} stuck cells, "
+            f"{result.remapped_rows} rows remapped onto spares "
+            f"(spare rows {arch.spare_rows}, threshold "
+            f"{faults.remap_threshold:g})"
+        )
     if validate:
         print(
             f"output rel. error vs float reference: {result.rel_error:.3e}  "
@@ -827,6 +956,17 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--stuck-grid",
+        default="0",
+        metavar="FRACS",
+        help=(
+            "comma-separated total stuck-cell fractions to sweep (split "
+            "evenly between stuck-at-G_on and stuck-at-G_off; each trial "
+            "samples an independent seed-stable chip realisation; "
+            "default: 0 — no faults)"
+        ),
+    )
+    parser.add_argument(
         "--trials",
         type=int,
         default=8,
@@ -837,6 +977,35 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="process-pool workers; <=1 runs inline (default: 1)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "retry a failed/crashed unit of work up to N times with "
+            "exponential backoff before giving up on it (default: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "stall watchdog: restart the pool when no unit of work "
+            "completes within SECONDS per in-flight trial (0 = disabled)"
+        ),
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "record trials that exhaust their retries as structured error "
+            "rows and finish the sweep instead of aborting; a later "
+            "--resume retries exactly those trials"
+        ),
     )
     parser.add_argument(
         "--cell-bits",
@@ -953,9 +1122,14 @@ def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
             compute_dtypes=tuple(
                 _parse_list(args.compute_dtype, str, "--compute-dtype")
             ),
+            stuck_fractions=tuple(_parse_list(args.stuck_grid, float, "--stuck-grid")),
         )
         if args.workers < 0:
             raise ValueError("--workers must be non-negative")
+        if args.max_retries < 0:
+            raise ValueError("--max-retries must be non-negative")
+        if args.trial_timeout < 0:
+            raise ValueError("--trial-timeout must be non-negative")
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -980,6 +1154,9 @@ def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
             resume=args.resume,
             progress=progress,
             cache=cache,
+            max_retries=args.max_retries,
+            trial_timeout_s=args.trial_timeout or None,
+            keep_going=args.keep_going,
         )
     except EngineError as exc:
         print(f"sweep cannot run: {exc}", file=sys.stderr)
@@ -994,6 +1171,7 @@ def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
             "computed": outcome.computed,
             "skipped": outcome.skipped,
             "executed": outcome.executed,
+            "failed": outcome.failed,
             "workers": args.workers,
             "elapsed_s": outcome.elapsed_s,
             "program_s": outcome.program_s,
@@ -1004,10 +1182,11 @@ def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
         print(json.dumps(doc, indent=2))
         return 0
 
+    failed_note = f", {outcome.failed} FAILED" if outcome.failed else ""
     print(
         f"Sweep — {','.join(grid.models)}: {len(grid)} trials "
         f"({outcome.computed} computed via {outcome.executed} engine runs, "
-        f"{outcome.skipped} skipped, {args.workers} worker(s), "
+        f"{outcome.skipped} skipped{failed_note}, {args.workers} worker(s), "
         f"{outcome.elapsed_s:.2f}s, {outcome.trials_per_sec:.1f} trials/s)"
     )
     print(f"store: {store.path}")
@@ -1238,6 +1417,47 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         "reduction": kept.peak_activation_bytes / freed.peak_activation_bytes,
     }
 
+    # 7b. fault injection: the same cnn_1-class chip clean, with 0.5% stuck
+    # cells, and with the same stuck cells remapped onto spare rows —
+    # graceful degradation must claw back part of the fault-induced error.
+    # (0.5% keeps the degradation in the regime where healing cells
+    # reliably lowers the error; at a few percent the output is fault-
+    # dominated and the recovery margin is no longer monotone.)
+    from repro.faults import FaultModel
+
+    fault_model = FaultModel(
+        stuck_on_fraction=0.0025, stuck_off_fraction=0.0025, seed=0
+    )
+    fb_clean = NetworkExecutor(engine_net, ctx, mode="analog").run()
+    fb_faulted = NetworkExecutor(
+        engine_net, ctx.with_faults(fault_model), mode="analog"
+    ).run()
+    remap_ctx = SimContext(
+        arch=ArchSpec(spare_rows=16),
+        faults=FaultModel(
+            stuck_on_fraction=0.0025,
+            stuck_off_fraction=0.0025,
+            remap_threshold=0.0,  # same masks (threshold is not in the rng
+            seed=0,  # salt), but every faulty tile engages its spares
+        ),
+    )
+    fb_remapped = NetworkExecutor(engine_net, remap_ctx, mode="analog").run()
+    faults_bench = {
+        "model": args.engine_model,
+        "stuck_fraction": 0.005,
+        "spare_rows": 16,
+        "clean_rel_error": fb_clean.rel_error,
+        "faulted_rel_error": fb_faulted.rel_error,
+        "remapped_rel_error": fb_remapped.rel_error,
+        "stuck_cells": fb_faulted.stuck_cells,
+        "remapped_rows": fb_remapped.remapped_rows,
+        "healed_ratio": (
+            fb_faulted.rel_error / fb_remapped.rel_error
+            if fb_remapped.rel_error
+            else None
+        ),
+    }
+
     # 8. streamed / float32 / chunk-fused execution.
     #    (a) dtype: the same deep packed analog forward at float64 vs
     #    float32 — the gemm and read-out chain drop to single precision
@@ -1303,9 +1523,11 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         "stream": {
             "resident_peak_rss_mb": resident_leg["peak_rss_mb"],
             "streamed_peak_rss_mb": streamed_leg["peak_rss_mb"],
+            # peak_rss_mb degrades to null on platforms without procfs or
+            # getrusage — the ratio then degrades with it instead of raising
             "rss_reduction": (
                 resident_leg["peak_rss_mb"] / streamed_leg["peak_rss_mb"]
-                if streamed_leg["peak_rss_mb"]
+                if resident_leg["peak_rss_mb"] and streamed_leg["peak_rss_mb"]
                 else None
             ),
             "resident_peak_wired_mb": resident_leg["peak_wired_mb"],
@@ -1352,6 +1574,7 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         "programming_cache": programming_cache,
         "branching": branching,
         "liveness": liveness,
+        "faults": faults_bench,
         "streaming": streaming,
         "deep_engine": deep,
     }
@@ -1383,6 +1606,16 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         f"peak {liveness['freed_peak_mb']:.1f} MB freed vs "
         f"{liveness['unfreed_peak_mb']:.1f} MB kept "
         f"({liveness['reduction']:.1f}x reduction)"
+    )
+    print(
+        f"  faults ({faults_bench['model']}, "
+        f"{faults_bench['stuck_fraction']:.0%} stuck): rel error "
+        f"{faults_bench['clean_rel_error']:.2e} clean -> "
+        f"{faults_bench['faulted_rel_error']:.2e} faulted -> "
+        f"{faults_bench['remapped_rel_error']:.2e} with "
+        f"{faults_bench['spare_rows']} spare rows "
+        f"({faults_bench['stuck_cells']} stuck cells, "
+        f"{faults_bench['remapped_rows']} rows remapped)"
     )
     print(
         f"  sweep ({sweep['model']}, {sweep['trials']} trials): "

@@ -56,6 +56,11 @@ class TrialSpec:
     #: against a float64 reference campaign without the two ever sharing a
     #: content key (the field is part of the canonical JSON ``key``)
     compute_dtype: str = "float64"
+    #: total stuck-cell fraction injected by :mod:`repro.faults` (split
+    #: evenly between stuck-at-G_on and stuck-at-G_off); ``0`` = a
+    #: defect-free chip.  Each trial samples an independent, seed-stable
+    #: chip realisation, mirroring the noise decorrelation.
+    stuck_fraction: float = 0.0
 
     @property
     def key(self) -> str:
@@ -85,12 +90,22 @@ class TrialSpec:
             if self.noise_scale > 0
             else None
         )
+        faults = None
+        if self.stuck_fraction > 0:
+            from repro.faults import FaultModel
+
+            faults = FaultModel(
+                stuck_on_fraction=self.stuck_fraction / 2,
+                stuck_off_fraction=self.stuck_fraction / 2,
+                seed=self.seed,
+            )
         ctx = SimContext(
             arch=arch,
             noise=noise,
             seed=self.seed,
             backend=self.backend,
             compute_dtype=self.compute_dtype,
+            faults=faults,
         )
         return ctx.for_trial(self.trial)
 
@@ -115,13 +130,21 @@ class SweepGrid:
     weight_bits: int = 8
     input_bits: int = 8
     compute_dtypes: Tuple[str, ...] = ("float64",)
+    stuck_fractions: Tuple[float, ...] = (0.0,)
 
     def __post_init__(self) -> None:
         # normalise away repeated grid values (e.g. `--noise-grid 0,0.5,0.5`)
         # before validation: duplicates would inflate trial counts and write
         # duplicate rows under one content key, which resume logic assumes
         # cannot happen
-        for name in ("models", "noise_scales", "cell_bits", "backends", "compute_dtypes"):
+        for name in (
+            "models",
+            "noise_scales",
+            "cell_bits",
+            "backends",
+            "compute_dtypes",
+            "stuck_fractions",
+        ):
             values = tuple(dict.fromkeys(getattr(self, name)))
             object.__setattr__(self, name, values)
         if not self.models:
@@ -147,6 +170,10 @@ class SweepGrid:
             raise ValueError(
                 f"unknown compute dtypes {bad_dtypes}; choose from: {COMPUTE_DTYPES}"
             )
+        if not self.stuck_fractions or any(
+            not math.isfinite(f) or not (0.0 <= f <= 1.0) for f in self.stuck_fractions
+        ):
+            raise ValueError("stuck fractions must lie in [0, 1]")
 
     def specs(self) -> List[TrialSpec]:
         """Every trial of the grid in deterministic (canonical) order."""
@@ -164,12 +191,14 @@ class SweepGrid:
                 weight_bits=self.weight_bits,
                 input_bits=self.input_bits,
                 compute_dtype=dtype,
+                stuck_fraction=stuck,
             )
-            for model, bits, backend, dtype, scale, trial in itertools.product(
+            for model, bits, backend, dtype, stuck, scale, trial in itertools.product(
                 self.models,
                 self.cell_bits,
                 self.backends,
                 self.compute_dtypes,
+                self.stuck_fractions,
                 self.noise_scales,
                 range(self.trials),
             )
@@ -181,6 +210,7 @@ class SweepGrid:
             * len(self.cell_bits)
             * len(self.backends)
             * len(self.compute_dtypes)
+            * len(self.stuck_fractions)
             * len(self.noise_scales)
             * self.trials
         )
@@ -188,6 +218,13 @@ class SweepGrid:
     def to_dict(self) -> dict:
         """JSON-serialisable description (lists instead of tuples)."""
         doc = asdict(self)
-        for name in ("models", "noise_scales", "cell_bits", "backends", "compute_dtypes"):
+        for name in (
+            "models",
+            "noise_scales",
+            "cell_bits",
+            "backends",
+            "compute_dtypes",
+            "stuck_fractions",
+        ):
             doc[name] = list(doc[name])
         return doc

@@ -79,10 +79,19 @@ class SweepStore:
         rows = list(rows)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        with open(tmp, "w") as handle:
-            for row in rows:
-                handle.write(row_line(row) + "\n")
-        os.replace(tmp, self.path)
+        try:
+            with open(tmp, "w") as handle:
+                for row in rows:
+                    handle.write(row_line(row) + "\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            # a failed compaction must leave the previous file untouched
+            # (the replace is atomic) and no stray tmp behind
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def lines(self) -> List[str]:
         """The raw stored lines (for byte-identity checks and tooling)."""

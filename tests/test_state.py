@@ -302,3 +302,70 @@ def test_cache_mmap_loads_from_disk(tmp_path):
     rebuilt = NetworkExecutor.from_state(mapped, network=network, ctx=ctx)
     x = fresh.random_input()
     _assert_identical(*_run_pair(fresh, rebuilt, x))
+
+
+# ---------------------------------------------------------------------------
+# corrupt snapshots
+# ---------------------------------------------------------------------------
+
+def _saved_state(tmp_path, model="tiny_mlp"):
+    network = build_model(model)
+    ctx = SimContext()
+    state = program(network, ctx, "analog")
+    return state.save(tmp_path / "state"), network, ctx
+
+
+def test_load_corrupt_meta_raises_engine_error_naming_the_path(tmp_path):
+    path, _, _ = _saved_state(tmp_path)
+    (path / "meta.json").write_text("{ not json")
+    with pytest.raises(EngineError, match=str(path)):
+        ProgrammedState.load(path)
+
+
+def test_load_truncated_meta_raises_engine_error(tmp_path):
+    path, _, _ = _saved_state(tmp_path)
+    meta = (path / "meta.json").read_text()
+    (path / "meta.json").write_text(meta[: len(meta) // 2])
+    with pytest.raises(EngineError, match="corrupt programmed state"):
+        ProgrammedState.load(path)
+
+
+def test_load_with_missing_payload_file_raises_engine_error(tmp_path):
+    path, _, _ = _saved_state(tmp_path)
+    victim = next(path.glob("*.npy"))
+    victim.unlink()
+    with pytest.raises(EngineError, match=str(path)):
+        ProgrammedState.load(path)
+
+
+def test_load_with_meta_missing_keys_raises_engine_error(tmp_path):
+    import json as _json
+
+    path, _, _ = _saved_state(tmp_path)
+    meta = _json.loads((path / "meta.json").read_text())
+    del meta["layers"]
+    (path / "meta.json").write_text(_json.dumps(meta))
+    with pytest.raises(EngineError, match="corrupt programmed state"):
+        ProgrammedState.load(path)
+
+
+def test_cache_evicts_a_corrupt_disk_entry_and_reprograms(tmp_path):
+    """A torn snapshot (crash mid-save, disk rot) must not wedge the cache:
+    the corrupt entry is evicted, the state re-programs and re-persists."""
+    network = build_model("tiny_mlp")
+    ctx = SimContext()
+    warm = ProgrammedStateCache(root=tmp_path / "cache")
+    state, _ = warm.get_or_program(network, ctx)
+    entry = warm.path_for(state.key)
+    (entry / "meta.json").write_text("{ torn")
+
+    cold = ProgrammedStateCache(root=tmp_path / "cache")
+    healed, source = cold.get_or_program(network, ctx)
+    assert source == "programmed"
+    assert cold.evicted == 1
+    assert sorted(cold.counts) == ["disk", "memory", "programmed"]
+    assert healed.key == state.key
+    # the entry was re-persisted and now round-trips cleanly
+    again = ProgrammedStateCache(root=tmp_path / "cache")
+    _, source2 = again.get_or_program(network, ctx)
+    assert source2 == "disk"

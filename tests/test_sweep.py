@@ -460,3 +460,199 @@ def test_mixed_dtype_sweep_runs_and_stays_at_the_floor(tmp_path):
     by_dtype = {row["compute_dtype"]: row for row in outcome.rows}
     assert set(by_dtype) == {"float64", "float32"}
     assert by_dtype["float32"]["rel_error"] <= 1.5 * by_dtype["float64"]["rel_error"]
+
+
+# ---------------------------------------------------------------------------
+# store robustness
+# ---------------------------------------------------------------------------
+
+def test_store_duplicate_keys_last_write_wins(tmp_path):
+    store = SweepStore(tmp_path / "r.jsonl")
+    store.append({"key": "a", "rel_error": 1.0})
+    store.append({"key": "b", "rel_error": 2.0})
+    store.append({"key": "a", "rel_error": 3.0})
+    rows = store.load()
+    assert rows["a"]["rel_error"] == 3.0
+    assert rows["b"]["rel_error"] == 2.0
+    assert store.skipped_lines == 0
+
+
+def test_store_crash_mid_rewrite_preserves_the_original(tmp_path, monkeypatch):
+    """A rewrite that dies before the atomic replace leaves the previous
+    file byte-identical and no stray .tmp behind."""
+    import os as _os
+
+    store = SweepStore(tmp_path / "r.jsonl")
+    store.append({"key": "a", "rel_error": 1.0})
+    before = store.path.read_bytes()
+
+    def exploding_replace(src, dst):
+        raise OSError("simulated crash during rewrite")
+
+    monkeypatch.setattr(_os, "replace", exploding_replace)
+    with pytest.raises(OSError, match="simulated crash"):
+        store.rewrite([{"key": "b", "rel_error": 2.0}])
+    assert store.path.read_bytes() == before
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+# ---------------------------------------------------------------------------
+# crash-tolerant sweeps
+# ---------------------------------------------------------------------------
+
+def _flaky_run_trial(failures, error=RuntimeError("transient")):
+    """A run_trial wrapper failing the first ``failures`` calls per spec key."""
+    from repro.sweep import pool as pool_mod
+
+    real = pool_mod.run_trial
+    remaining = {}
+
+    def wrapper(spec, *args, **kwargs):
+        left = remaining.setdefault(spec.key, failures)
+        if left > 0:
+            remaining[spec.key] = left - 1
+            raise error
+        return real(spec, *args, **kwargs)
+
+    return wrapper
+
+
+def test_inline_sweep_retries_transient_failures(tmp_path, monkeypatch):
+    from repro.sweep import pool as pool_mod
+
+    clean = SweepStore(tmp_path / "clean.jsonl")
+    run_sweep(TINY_GRID, clean, workers=0)
+    monkeypatch.setattr(pool_mod, "run_trial", _flaky_run_trial(failures=1))
+    flaky = SweepStore(tmp_path / "flaky.jsonl")
+    outcome = run_sweep(TINY_GRID, flaky, workers=0, retry_backoff_s=0.0)
+    assert outcome.failed == 0
+    assert flaky.lines() == clean.lines()
+
+
+def test_inline_sweep_raises_after_exhausted_retries(tmp_path, monkeypatch):
+    from repro.sweep import pool as pool_mod
+
+    monkeypatch.setattr(pool_mod, "run_trial", _flaky_run_trial(failures=99))
+    store = SweepStore(tmp_path / "r.jsonl")
+    with pytest.raises(RuntimeError, match="transient"):
+        run_sweep(TINY_GRID, store, workers=0, max_retries=1, retry_backoff_s=0.0)
+
+
+def test_keep_going_records_error_rows_and_resume_retries_them(
+    tmp_path, monkeypatch
+):
+    from repro.sweep import pool as pool_mod
+
+    clean = SweepStore(tmp_path / "clean.jsonl")
+    run_sweep(TINY_GRID, clean, workers=0)
+
+    monkeypatch.setattr(pool_mod, "run_trial", _flaky_run_trial(failures=99))
+    store = SweepStore(tmp_path / "r.jsonl")
+    outcome = run_sweep(
+        TINY_GRID, store, workers=0, max_retries=0, retry_backoff_s=0.0,
+        keep_going=True,
+    )
+    assert outcome.failed == len(TINY_GRID.specs())
+    rows = store.load()
+    assert all("error" in row and "RuntimeError" in row["error"] for row in rows.values())
+    assert summarize(rows.values())[0]["trials"] == 0  # all excluded, cell kept
+
+    # resume with the healthy run_trial recomputes exactly the failed trials
+    monkeypatch.undo()
+    healed = run_sweep(TINY_GRID, store, workers=0, resume=True)
+    assert healed.computed == len(TINY_GRID.specs())
+    assert healed.failed == 0
+    assert store.lines() == clean.lines()
+
+
+def test_pooled_sweep_survives_a_worker_crash(tmp_path, monkeypatch):
+    """One SIGKILLed worker mid-sweep: the pool is rebuilt, in-flight chunks
+    re-run, and the final store is byte-identical to an uncrashed run."""
+    grid = SweepGrid(models=("tiny_mlp",), noise_scales=(0.0, 1.0), trials=3, seed=0)
+    clean = SweepStore(tmp_path / "clean.jsonl")
+    run_sweep(grid, clean, workers=2, chunk_size=1)
+
+    marker = tmp_path / "crash.marker"
+    monkeypatch.setenv("REPRO_SWEEP_CRASH_ONCE", str(marker))
+    crashed = SweepStore(tmp_path / "crashed.jsonl")
+    outcome = run_sweep(
+        grid, crashed, workers=2, chunk_size=1, retry_backoff_s=0.05
+    )
+    assert marker.exists()  # the injection actually fired
+    assert outcome.failed == 0
+    assert crashed.lines() == clean.lines()
+
+
+def test_sweep_rejects_bad_retry_configuration(tmp_path):
+    store = SweepStore(tmp_path / "r.jsonl")
+    with pytest.raises(ValueError, match="max_retries"):
+        run_sweep(TINY_GRID, store, max_retries=-1)
+    with pytest.raises(ValueError, match="retry_backoff_s"):
+        run_sweep(TINY_GRID, store, retry_backoff_s=-0.1)
+    with pytest.raises(ValueError, match="trial_timeout_s"):
+        run_sweep(TINY_GRID, store, trial_timeout_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# fault axis
+# ---------------------------------------------------------------------------
+
+def test_grid_expands_stuck_fractions_and_keys_differ():
+    grid = SweepGrid(
+        models=("tiny_mlp",), noise_scales=(0.0,), trials=2,
+        stuck_fractions=(0.0, 0.05),
+    )
+    assert len(grid) == 4
+    faulty = TrialSpec(model="tiny_mlp", noise_scale=0.0, trial=0, stuck_fraction=0.05)
+    pristine = TrialSpec(model="tiny_mlp", noise_scale=0.0, trial=0)
+    assert faulty.key != pristine.key
+    with pytest.raises(ValueError, match="stuck fractions"):
+        SweepGrid(models=("tiny_mlp",), stuck_fractions=(1.5,))
+
+
+def test_trial_context_carries_a_per_trial_fault_model():
+    spec = TrialSpec(model="tiny_mlp", noise_scale=0.0, trial=1, stuck_fraction=0.04)
+    ctx = spec.context()
+    assert ctx.faults is not None
+    assert ctx.faults.stuck_on_fraction == ctx.faults.stuck_off_fraction == 0.02
+    other = TrialSpec(
+        model="tiny_mlp", noise_scale=0.0, trial=2, stuck_fraction=0.04
+    ).context()
+    assert ctx.faults.seed != other.faults.seed
+    assert TrialSpec(model="tiny_mlp", noise_scale=0.0, trial=1).context().faults is None
+
+
+def test_faulty_noiseless_trials_do_not_share_an_engine_run(tmp_path):
+    """Faults decorrelate per trial, so the noiseless-dedup shortcut must
+    not collapse faulty analog trials — but still collapses ideal ones."""
+    from repro.sweep.pool import _work_spec
+
+    faulty = TrialSpec(model="tiny_mlp", noise_scale=0.0, trial=2, stuck_fraction=0.05)
+    assert _work_spec(faulty) == faulty
+    ideal = TrialSpec(
+        model="tiny_mlp", noise_scale=0.0, trial=2, stuck_fraction=0.05, mode="ideal"
+    )
+    assert _work_spec(ideal).trial == 0
+
+    grid = SweepGrid(
+        models=("tiny_mlp",), noise_scales=(0.0,), trials=3,
+        stuck_fractions=(0.05,), rows=64, cols=64,
+    )
+    store = SweepStore(tmp_path / "r.jsonl")
+    outcome = run_sweep(grid, store, workers=0)
+    assert outcome.executed == 3  # one engine run per trial, no dedup
+    errors = {row["rel_error"] for row in store.load().values()}
+    assert len(errors) == 3  # distinct chip realisations
+
+
+def test_mean_error_grows_with_the_stuck_fraction(tmp_path):
+    grid = SweepGrid(
+        models=("tiny_mlp",), noise_scales=(0.0,), trials=4,
+        stuck_fractions=(0.0, 0.02, 0.1), rows=64, cols=64,
+    )
+    store = SweepStore(tmp_path / "r.jsonl")
+    outcome = run_sweep(grid, store, workers=0)
+    summary = summarize(outcome.rows)
+    means = [entry["mean_rel_error"] for entry in summary]
+    assert means == sorted(means)
+    assert means[0] < means[-1]
