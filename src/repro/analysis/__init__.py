@@ -1,0 +1,38 @@
+"""repro.analysis — AST-based invariant checker for the engine's contracts.
+
+Run it as ``python -m repro.analysis [paths]`` (see :mod:`__main__`) or
+programmatically::
+
+    from repro.analysis import run_analysis
+    report = run_analysis(["src"])
+    assert not report.findings
+
+The rules encode this repo's correctness contracts — RNG discipline,
+content-key completeness, pool picklability, array-layout/dtype discipline;
+each module under :mod:`repro.analysis.rules` documents the contract and
+the historical bug it guards against.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import (
+    AnalysisReport,
+    Finding,
+    Rule,
+    SourceFile,
+    collect_sources,
+    load_baseline,
+    run_analysis,
+    write_baseline,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "collect_sources",
+    "load_baseline",
+    "run_analysis",
+    "write_baseline",
+]

@@ -1,0 +1,140 @@
+"""``python -m repro.analysis`` — the invariant-checker CLI.
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+
+Examples::
+
+    python -m repro.analysis src                 # full run, text output
+    python -m repro.analysis src --json          # machine-readable report
+    python -m repro.analysis src --rules rng-discipline,layout-discipline
+    python -m repro.analysis src --baseline analysis-baseline.json
+    python -m repro.analysis src --baseline b.json --write-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.core import Rule, load_baseline, run_analysis, write_baseline
+from repro.analysis.rules import ALL_RULES, RULES_BY_NAME
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based invariant checker: RNG discipline, content-key "
+            "completeness, pool picklability, array-layout/dtype discipline."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="NAMES",
+        help="comma-separated subset of rules to run (see --list-rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of grandfathered finding fingerprints",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to --baseline and exit 0",
+    )
+    return parser
+
+
+def _select_rules(spec: Optional[str]) -> List[Rule]:
+    if spec is None:
+        return list(ALL_RULES)
+    rules: List[Rule] = []
+    for name in (part.strip() for part in spec.split(",")):
+        if not name:
+            continue
+        if name not in RULES_BY_NAME:
+            known = ", ".join(sorted(RULES_BY_NAME))
+            raise SystemExit(f"error: unknown rule '{name}' (known: {known})")
+        rules.append(RULES_BY_NAME[name])
+    if not rules:
+        raise SystemExit("error: --rules selected no rules")
+    return rules
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    try:
+        rules = _select_rules(args.rules)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.write_baseline and not args.baseline:
+        print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.baseline and not args.write_baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        report = run_analysis(args.paths, rules=rules, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(args.baseline, report.findings)
+        print(f"wrote {count} fingerprint(s) to {args.baseline}")
+        return 0
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        summary = (
+            f"{len(report.findings)} finding(s) in {report.files} file(s)"
+        )
+        extras = []
+        if report.suppressed:
+            extras.append(f"{report.suppressed} inline-allowed")
+        if report.baselined:
+            extras.append(f"{report.baselined} baselined")
+        if extras:
+            summary += f" ({', '.join(extras)})"
+        print(summary)
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,311 @@
+"""AST visitor core of the invariant checker: files, findings, baselines.
+
+The checker exists because this repo's hardest bugs were *invariant
+violations that type-check and pass unit tests*: the PR-4 shared-mutable-RNG
+bug (noise draws depended on construction order), the PR-7 content-key
+near-miss (``compute_dtype`` had to be threaded by hand into every key to
+stop float32 campaigns aliasing cached float64 states) and the PR-7
+``np.ascontiguousarray`` layout-discard bug.  Each rule in
+:mod:`repro.analysis.rules` turns one of those bug classes into a
+machine-checked contract.
+
+This module is dependency-free (stdlib ``ast`` only) and deliberately knows
+nothing about the individual rules.  It provides:
+
+* :class:`SourceFile` — a parsed file plus its root-relative path (the
+  stable coordinate findings and baselines key on),
+* :class:`ImportMap` / :func:`dotted` — shared import/alias resolution, so
+  every rule sees ``np.random.default_rng``, ``numpy.random.default_rng``
+  and ``from numpy.random import default_rng as dr`` as the same target,
+* :class:`Finding` with a line-independent fingerprint (rule + path +
+  message), so a committed baseline survives unrelated edits that shift
+  line numbers,
+* :func:`run_analysis` — load files, run rules, apply inline
+  ``# analysis: allow=<rule>`` suppressions and an optional baseline.
+
+Inline suppression: a finding is dropped when its source line contains
+``analysis: allow=<rule-name>`` (or ``analysis: allow=*``), normally in a
+trailing comment together with the reason::
+
+    rng = np.random.default_rng(0)  # analysis: allow=rng-discipline -- demo
+
+Baselines are JSON documents ``{"version": 1, "suppress": [fingerprints]}``
+written by ``python -m repro.analysis --baseline FILE --write-baseline``:
+they grandfather existing findings while any *new* finding still fails.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+#: inline-suppression marker (see module docstring)
+ALLOW_MARK = "analysis: allow="
+
+#: the pseudo-rule unparseable files are reported under
+PARSE_RULE = "parse-error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation at a source location."""
+
+    rule: str
+    path: str  # root-relative posix path (stable across machines)
+    line: int
+    col: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable id of this finding for baselines.
+
+        Line/column are deliberately excluded so a baseline entry survives
+        unrelated edits that shift the finding around the file; the message
+        carries the violating identifier, which keeps distinct violations
+        distinct.
+        """
+        raw = f"{self.rule}|{self.path}|{self.message}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """A parsed Python source file plus its scan-root-relative path."""
+
+    path: Path
+    rel: str
+    text: str
+    tree: ast.Module
+    lines: List[str]
+
+    @classmethod
+    def parse(cls, path: Path, rel: str) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        return cls(path=path, rel=rel, text=text, tree=tree, lines=text.splitlines())
+
+
+class ImportMap:
+    """Local name -> fully-dotted module/object path, for one file.
+
+    Function-local imports count too (this codebase imports heavyweight
+    modules lazily inside functions), so the map is scope-insensitive — a
+    deliberate over-approximation that is fine for invariant checking.
+    """
+
+    def __init__(self, tree: ast.AST):
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        self.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                module = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{module}.{alias.name}" if module else alias.name
+
+    def resolve(self, name: str) -> Optional[str]:
+        return self.aliases.get(name)
+
+
+def dotted(node: ast.AST, imports: ImportMap) -> Optional[str]:
+    """The fully-resolved dotted path of a Name/Attribute chain, or None.
+
+    ``np.random.default_rng`` with ``import numpy as np`` resolves to
+    ``"numpy.random.default_rng"``; a bare ``default_rng`` imported via
+    ``from numpy.random import default_rng`` resolves to the same string.
+    Unresolvable roots stay as written (e.g. a local variable name).
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(imports.resolve(node.id) or node.id)
+    return ".".join(reversed(parts))
+
+
+def leaf_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a Name/Attribute (``a.b.c`` -> ``"c"``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class Rule:
+    """Base class of one invariant rule (see :mod:`repro.analysis.rules`)."""
+
+    #: stable rule id used in output, allow-comments and ``--rules``
+    name: str = ""
+    #: one-line contract statement shown by ``--list-rules``
+    description: str = ""
+
+    def check(self, files: Sequence[SourceFile]) -> List[Finding]:
+        raise NotImplementedError
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one :func:`run_analysis` invocation produced."""
+
+    findings: List[Finding]
+    files: int
+    rules: List[str]
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.rule] = out.get(finding.rule, 0) + 1
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files": self.files,
+            "rules": self.rules,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "counts": self.counts,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+
+def collect_sources(
+    paths: Iterable[Union[str, Path]],
+) -> Tuple[List[SourceFile], List[Finding]]:
+    """Load every ``.py`` file under ``paths`` (files or directories).
+
+    Relative paths of findings are taken against each scanned root, so a
+    baseline written from ``python -m repro.analysis src`` is stable across
+    checkouts.  Unparseable files become :data:`PARSE_RULE` findings instead
+    of aborting the run — a syntax error must not hide every other finding.
+    """
+    discovered: List[Tuple[Path, str]] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            discovered.append((root, root.name))
+        elif root.is_dir():
+            for path in sorted(root.rglob("*.py")):
+                rel = path.relative_to(root)
+                if any(part.startswith(".") for part in rel.parts):
+                    continue
+                discovered.append((path, rel.as_posix()))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    sources: List[SourceFile] = []
+    failures: List[Finding] = []
+    for path, rel in discovered:
+        try:
+            sources.append(SourceFile.parse(path, rel))
+        except SyntaxError as exc:
+            failures.append(
+                Finding(
+                    rule=PARSE_RULE,
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"cannot parse: {exc.msg}",
+                )
+            )
+    return sources, failures
+
+
+def _suppressed(finding: Finding, by_rel: Dict[str, SourceFile]) -> bool:
+    source = by_rel.get(finding.path)
+    if source is None or not (1 <= finding.line <= len(source.lines)):
+        return False
+    line = source.lines[finding.line - 1]
+    return (
+        f"{ALLOW_MARK}{finding.rule}" in line or f"{ALLOW_MARK}*" in line
+    )
+
+
+def load_baseline(path: Union[str, Path]) -> Set[str]:
+    """The suppressed-fingerprint set of a baseline file."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or not isinstance(doc.get("suppress"), list):
+        raise ValueError(f"{path} is not a baseline ({{'version', 'suppress'}})")
+    return {str(entry) for entry in doc["suppress"]}
+
+
+def write_baseline(path: Union[str, Path], findings: Sequence[Finding]) -> int:
+    """Write ``findings`` as a baseline; returns the entry count."""
+    fingerprints = sorted({finding.fingerprint for finding in findings})
+    doc = {"version": 1, "suppress": fingerprints}
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return len(fingerprints)
+
+
+def run_analysis(
+    paths: Iterable[Union[str, Path]],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Iterable[str]] = None,
+) -> AnalysisReport:
+    """Run ``rules`` (default: all registered) over ``paths``.
+
+    Findings are sorted by location; inline ``analysis: allow=`` comments
+    and ``baseline`` fingerprints are applied here so every entry point
+    (CLI, tests, CI) shares one suppression semantics.
+    """
+    if rules is None:
+        from repro.analysis.rules import ALL_RULES
+
+        rules = ALL_RULES
+    sources, findings = collect_sources(paths)
+    for rule in rules:
+        findings.extend(rule.check(sources))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+
+    by_rel = {source.rel: source for source in sources}
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if _suppressed(finding, by_rel):
+            suppressed += 1
+        else:
+            kept.append(finding)
+
+    baselined = 0
+    if baseline is not None:
+        allowed = set(baseline)
+        fresh = [f for f in kept if f.fingerprint not in allowed]
+        baselined = len(kept) - len(fresh)
+        kept = fresh
+
+    return AnalysisReport(
+        findings=kept,
+        files=len(sources),
+        rules=[rule.name for rule in rules],
+        suppressed=suppressed,
+        baselined=baselined,
+    )

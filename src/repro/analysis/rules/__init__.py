@@ -1,0 +1,34 @@
+"""Rule registry of the invariant checker.
+
+Each rule module turns one historical bug class into a machine-checked
+contract; :data:`ALL_RULES` is the default set run by
+``python -m repro.analysis`` and :func:`repro.analysis.run_analysis`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.content_keys import ContentKeyCompletenessRule
+from repro.analysis.rules.layout import LayoutDisciplineRule
+from repro.analysis.rules.pool import PoolPicklabilityRule
+from repro.analysis.rules.rng import RngDisciplineRule
+
+ALL_RULES: List[Rule] = [
+    RngDisciplineRule(),
+    ContentKeyCompletenessRule(),
+    PoolPicklabilityRule(),
+    LayoutDisciplineRule(),
+]
+
+RULES_BY_NAME: Dict[str, Rule] = {rule.name: rule for rule in ALL_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_NAME",
+    "ContentKeyCompletenessRule",
+    "LayoutDisciplineRule",
+    "PoolPicklabilityRule",
+    "RngDisciplineRule",
+]

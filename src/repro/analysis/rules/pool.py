@@ -1,0 +1,253 @@
+"""Rule ``pool-picklability``: everything crossing the pool is frozen.
+
+Contract (from the sweep fabric in ``repro.sweep.pool``): objects shipped
+through a process-pool boundary are pickled in the parent and rebuilt in
+the worker — mutation in either process is invisible to the other, and
+unpicklable callables surface only at runtime as a ``BrokenProcessPool``.
+So every submission site must ship:
+
+* a *module-level* function (lambdas and nested closures don't pickle),
+* whose annotated parameters are frozen dataclasses, builtins, or
+  allowlisted immutable types.
+
+Checked submission sites: ``executor.submit(fn, ...)``,
+``executor.map(fn, ...)`` (only in files that import
+``concurrent.futures``/``multiprocessing``), the
+``ProcessPoolExecutor(initializer=...)`` keyword, and
+``_PoolTask(fn=..., ...)`` constructions (the sweep fabric's resubmittable
+unit).  Unannotated parameters and dynamic callables (``task.fn``) are out
+of scope — the static contract is enforced where the task is *built*.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding, ImportMap, Rule, SourceFile, leaf_name
+
+#: annotation identifiers that are always pool-safe
+SAFE_TYPE_NAMES: Set[str] = {
+    # builtins / stdlib immutables
+    "str", "int", "float", "bool", "bytes", "complex", "frozenset",
+    "None", "NoneType", "object", "Path",
+    # containers-of-safe-things and typing wrappers (the wrapped names are
+    # checked independently when they resolve to analyzed classes)
+    "dict", "list", "tuple", "set",
+    "Dict", "List", "Tuple", "Set", "FrozenSet", "Sequence", "Iterable",
+    "Mapping", "MutableMapping", "Optional", "Union", "Any", "Callable",
+    "Literal", "Annotated", "Type",
+    # numpy arrays pickle by value; shipping them is a bandwidth choice,
+    # not a correctness bug
+    "ndarray", "NDArray", "dtype",
+}
+
+_POOL_MODULES = ("concurrent.futures", "multiprocessing")
+
+
+@dataclass
+class _ClassInfo:
+    frozen_dataclass: bool
+    line: int
+    path: str
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        if isinstance(deco, ast.Call) and leaf_name(deco.func) == "dataclass":
+            for kw in deco.keywords:
+                if (
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    return True
+    return False
+
+
+def _annotation_names(node: ast.AST) -> Set[str]:
+    """Every class-ish identifier mentioned in an annotation expression.
+
+    ``Sequence[TrialSpec]`` yields ``{"Sequence", "TrialSpec"}``; quoted
+    forward references are parsed recursively.
+    """
+    names: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            try:
+                names |= _annotation_names(ast.parse(sub.value, mode="eval").body)
+            except SyntaxError:
+                pass
+    return names
+
+
+def _imports_pool_module(imports: ImportMap) -> bool:
+    return any(
+        resolved.startswith(prefix)
+        for resolved in imports.aliases.values()
+        for prefix in _POOL_MODULES
+    )
+
+
+class PoolPicklabilityRule(Rule):
+    name = "pool-picklability"
+    description = (
+        "pool submission sites ship module-level functions whose annotated "
+        "parameters are frozen dataclasses or allowlisted immutable types"
+    )
+
+    def check(self, files: Sequence[SourceFile]) -> List[Finding]:
+        classes: Dict[str, _ClassInfo] = {}
+        module_funcs: Dict[Tuple[str, str], ast.FunctionDef] = {}
+        nested_funcs: Dict[str, Set[str]] = {}
+        for source in files:
+            top_level: Set[str] = set()
+            for stmt in source.tree.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    top_level.add(stmt.name)
+                    if isinstance(stmt, ast.FunctionDef):
+                        module_funcs[(source.rel, stmt.name)] = stmt
+            nested: Set[str] = set()
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    info = _ClassInfo(
+                        frozen_dataclass=_is_frozen_dataclass(node),
+                        line=node.lineno,
+                        path=source.rel,
+                    )
+                    # first definition wins; fixtures and src are analyzed
+                    # in separate runs so collisions don't arise in practice
+                    classes.setdefault(node.name, info)
+                elif (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name not in top_level
+                ):
+                    nested.add(node.name)
+            nested_funcs[source.rel] = nested
+
+        findings: List[Finding] = []
+        reported: Set[Tuple[str, str, str]] = set()
+        for source in files:
+            imports = ImportMap(source.tree)
+            uses_pools = _imports_pool_module(imports)
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                for callable_node in self._submitted_callables(node, uses_pools):
+                    findings.extend(
+                        self._check_callable(
+                            source,
+                            callable_node,
+                            classes,
+                            module_funcs,
+                            nested_funcs[source.rel],
+                            reported,
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _submitted_callables(call: ast.Call, uses_pools: bool) -> List[ast.AST]:
+        out: List[ast.AST] = []
+        func_leaf = leaf_name(call.func)
+        if (
+            uses_pools
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr in ("submit", "map")
+            and call.args
+        ):
+            out.append(call.args[0])
+        if func_leaf == "ProcessPoolExecutor":
+            for kw in call.keywords:
+                if kw.arg == "initializer":
+                    out.append(kw.value)
+        if func_leaf == "_PoolTask":
+            for kw in call.keywords:
+                if kw.arg == "fn":
+                    out.append(kw.value)
+            if call.args:
+                out.append(call.args[0])
+        return out
+
+    def _check_callable(
+        self,
+        source: SourceFile,
+        node: ast.AST,
+        classes: Dict[str, _ClassInfo],
+        module_funcs: Dict[Tuple[str, str], ast.FunctionDef],
+        nested: Set[str],
+        reported: Set[Tuple[str, str, str]],
+    ) -> List[Finding]:
+        if isinstance(node, ast.Lambda):
+            return [
+                Finding(
+                    rule=self.name,
+                    path=source.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "lambda shipped across the process boundary — "
+                        "lambdas don't pickle and die as BrokenProcessPool; "
+                        "use a module-level worker function"
+                    ),
+                )
+            ]
+        if not isinstance(node, ast.Name):
+            # dynamic dispatch (task.fn, methods): checked where the task
+            # object is constructed, not where it is re-submitted
+            return []
+        name = node.id
+        if name in nested and (source.rel, name) not in module_funcs:
+            return [
+                Finding(
+                    rule=self.name,
+                    path=source.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"nested function '{name}' shipped across the "
+                        f"process boundary — closures don't pickle; hoist "
+                        f"it to module level"
+                    ),
+                )
+            ]
+        worker = module_funcs.get((source.rel, name))
+        if worker is None:
+            return []
+        findings: List[Finding] = []
+        params = list(worker.args.args) + list(worker.args.kwonlyargs)
+        for param in params:
+            if param.annotation is None:
+                continue
+            for type_name in sorted(_annotation_names(param.annotation)):
+                if type_name in SAFE_TYPE_NAMES:
+                    continue
+                info = classes.get(type_name)
+                if info is None or info.frozen_dataclass:
+                    continue
+                key = (source.rel, name, f"{param.arg}:{type_name}")
+                if key in reported:
+                    continue
+                reported.add(key)
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=source.rel,
+                        line=worker.lineno,
+                        col=worker.col_offset,
+                        message=(
+                            f"pool worker '{name}' ships parameter "
+                            f"'{param.arg}: {type_name}' across the process "
+                            f"boundary but {type_name} "
+                            f"({info.path}:{info.line}) is not a frozen "
+                            f"dataclass — worker-side mutation would "
+                            f"silently diverge from the parent"
+                        ),
+                    )
+                )
+        return findings

@@ -1,0 +1,148 @@
+"""Rule ``rng-discipline``: every Generator derives its entropy reproducibly.
+
+Contract (from the PR-4 shared-mutable-RNG bug): randomness in ``src/`` must
+be *stateless and seed-derived*.  A ``np.random.default_rng`` /
+``np.random.Generator`` construction is clean only when its entropy comes
+from an approved derivation:
+
+* ``stable_seed(...)`` (SHA-256, process-stable — ``repro.circuits.noise``),
+* a ``(seed, salt)`` tuple literal (numpy folds it through SeedSequence),
+* ``np.random.SeedSequence(...)``, or a scoped helper such as
+  ``ctx.rng(salt)`` / ``NoiseStream`` streams / ``cfg.derived_rng(...)``.
+
+Findings:
+
+* ``default_rng()`` with no argument — OS entropy, unreproducible;
+* ``default_rng(0)`` / ``default_rng(seed_var)`` — bare entropy that
+  collides with every other site using the same integer;
+* any call into the *global* ``np.random.*`` state (``np.random.seed``,
+  ``np.random.normal``, ...) — shared mutable state across the process.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence
+
+from repro.analysis.core import Finding, ImportMap, Rule, SourceFile, dotted, leaf_name
+
+#: constructors whose entropy argument is checked
+GENERATOR_FACTORIES = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+}
+
+#: functions on the legacy *global* RNG state — always findings
+GLOBAL_STATE_CALLS = {
+    "seed", "get_state", "set_state",
+    "rand", "randn", "randint", "random_integers",
+    "random", "random_sample", "ranf", "sample", "bytes",
+    "normal", "standard_normal", "uniform", "choice",
+    "shuffle", "permutation", "binomial", "poisson",
+    "exponential", "gamma", "beta", "lognormal", "laplace",
+}
+
+#: call leaves accepted as entropy derivations anywhere inside the seed
+#: expression (``stable_seed``, ``np.random.SeedSequence(entropy)``,
+#: ``ctx.rng(salt)``, ``stream.spawn()``, ``cfg.derived_rng(...)``)
+APPROVED_SEED_HELPERS = {
+    "stable_seed",
+    "SeedSequence",
+    "derived_rng",
+    "rng",
+    "stream",
+    "spawn",
+}
+
+
+def _seed_is_derived(arg: ast.AST) -> bool:
+    """True when the entropy expression contains an approved derivation."""
+    for node in ast.walk(arg):
+        if isinstance(node, ast.Tuple):
+            # (seed, salt) entropy pairs are the approved inline form
+            return True
+        if isinstance(node, ast.Call):
+            leaf = leaf_name(node.func)
+            if leaf in APPROVED_SEED_HELPERS:
+                return True
+    return False
+
+
+class RngDisciplineRule(Rule):
+    name = "rng-discipline"
+    description = (
+        "np.random generators must derive entropy via stable_seed/(seed, salt)/"
+        "SeedSequence; global np.random state is forbidden"
+    )
+
+    def check(self, files: Sequence[SourceFile]) -> List[Finding]:
+        findings: List[Finding] = []
+        for source in files:
+            imports = ImportMap(source.tree)
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = dotted(node.func, imports)
+                if target in GENERATOR_FACTORIES:
+                    finding = self._check_factory(source, node, target)
+                    if finding is not None:
+                        findings.append(finding)
+                elif target is not None and self._is_global_state(target):
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=source.rel,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                f"call into the global numpy RNG state "
+                                f"({target}) — shared mutable state made PR-4 "
+                                f"noise draws order-dependent; use "
+                                f"default_rng(stable_seed(...)) or a "
+                                f"NoiseStream instead"
+                            ),
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _is_global_state(target: str) -> bool:
+        if not target.startswith("numpy.random."):
+            return False
+        return target.rsplit(".", 1)[1] in GLOBAL_STATE_CALLS
+
+    def _check_factory(
+        self, source: SourceFile, call: ast.Call, target: Optional[str]
+    ) -> Optional[Finding]:
+        short = (target or "default_rng").replace("numpy.", "np.")
+        if not call.args:
+            return Finding(
+                rule=self.name,
+                path=source.rel,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    f"{short}() without a seed draws OS entropy — the run "
+                    f"cannot be reproduced; derive via stable_seed(...) or a "
+                    f"(seed, salt) pair"
+                ),
+            )
+        seed = call.args[0]
+        if _seed_is_derived(seed):
+            return None
+        if isinstance(seed, ast.Constant) and isinstance(seed.value, int):
+            detail = f"a bare integer seed ({seed.value})"
+        else:
+            detail = f"an underived seed expression ({ast.unparse(seed)})"
+        return Finding(
+            rule=self.name,
+            path=source.rel,
+            line=call.lineno,
+            col=call.col_offset,
+            message=(
+                f"{short} seeded with {detail} — bare entropy collides "
+                f"across sites and salts nothing; derive via "
+                f"stable_seed(...), a (seed, salt) tuple, or "
+                f"SeedSequence (see repro.circuits.noise)"
+            ),
+        )

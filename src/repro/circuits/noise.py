@@ -33,12 +33,16 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Tuple, Union
+from typing import Any, Callable, Optional, Tuple, Union
 
 import numpy as np
 
 #: a salt part: plain ints and strings are both accepted and hashed stably
 SaltPart = Union[int, str]
+
+#: an array shape accepted by :meth:`HardwareNoiseConfig.sample` — an int, a
+#: full shape tuple, or ``None`` for a scalar draw
+ShapeArg = Optional[Union[int, Tuple[int, ...]]]
 
 _MASK64 = (1 << 64) - 1
 
@@ -120,7 +124,11 @@ class NoiseBudget:
         return self.accumulated_error_ps <= self.total_margin_ps
 
 
-def _conductance_variation(sampler, sigma: float, conductances: np.ndarray) -> np.ndarray:
+def _conductance_variation(
+    sampler: Callable[[float, Tuple[int, ...]], np.ndarray],
+    sigma: float,
+    conductances: np.ndarray,
+) -> np.ndarray:
     """Shared ``G * (1 + eps)`` programming-variation kernel, clipped at zero.
 
     The draw itself always happens in float64 (so the realisation is
@@ -232,7 +240,10 @@ class HardwareNoiseConfig:
         self._fallback = None
 
     def sample(
-        self, sigma: float, shape=None, salt: Union[SaltPart, Tuple[SaltPart, ...]] = ()
+        self,
+        sigma: float,
+        shape: ShapeArg = None,
+        salt: Union[SaltPart, Tuple[SaltPart, ...]] = (),
     ) -> np.ndarray:
         """Draw zero-mean Gaussian samples with the given sigma.
 
@@ -289,22 +300,29 @@ class NoiseStream:
 
     __slots__ = ("_config", "_salt", "_rng")
 
-    def __init__(self, config: HardwareNoiseConfig, salt: Tuple[SaltPart, ...] = ()):
+    def __init__(
+        self, config: HardwareNoiseConfig, salt: Tuple[SaltPart, ...] = ()
+    ) -> None:
         self._config = config
         self._salt = tuple(salt)
         self._rng = config.derived_rng(*self._salt)
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # sigma fields (and anything else public) resolve on the config;
         # underscore names must fail fast so unpickling cannot recurse
         if name.startswith("_"):
             raise AttributeError(name)
         return getattr(self._config, name)
 
-    def __getstate__(self):
+    def __getstate__(
+        self,
+    ) -> Tuple[HardwareNoiseConfig, Tuple[SaltPart, ...], np.random.Generator]:
         return (self._config, self._salt, self._rng)
 
-    def __setstate__(self, state):
+    def __setstate__(
+        self,
+        state: Tuple[HardwareNoiseConfig, Tuple[SaltPart, ...], np.random.Generator],
+    ) -> None:
         self._config, self._salt, self._rng = state
 
     @property
@@ -315,7 +333,7 @@ class NoiseStream:
         """A sub-stream scoped by extending this stream's salt."""
         return NoiseStream(self._config, self._salt + salt)
 
-    def sample(self, sigma: float, shape=None) -> np.ndarray:
+    def sample(self, sigma: float, shape: ShapeArg = None) -> np.ndarray:
         """Draw from this scope's sequence (zero sigma consumes no entropy)."""
         if sigma == 0.0:
             return np.zeros(shape) if shape is not None else np.array(0.0)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 import numpy as np
 
@@ -172,7 +172,7 @@ ENGINE_BACKENDS = ("packed", "tiled")
 COMPUTE_DTYPES = ("float64", "float32")
 
 
-def accelerator_factories() -> dict:
+def accelerator_factories() -> Dict[str, Callable[[ArchSpec], "AcceleratorSpec"]]:
     """The accelerator-name → config-factory registry, keyed by
     :data:`ACCELERATOR_STYLES`.  This is the single place the mapping is
     defined; the CLI and :meth:`SimContext.accelerator_spec` both read it.
@@ -279,7 +279,7 @@ class SimContext:
         realisation and chip (fault) realisation.  With neither a noise nor
         a fault model attached this is a plain copy.
         """
-        updates: dict = {}
+        updates: Dict[str, object] = {}
         if self.noise is not None:
             from repro.circuits.noise import stable_seed
 

@@ -422,7 +422,9 @@ class PackedMatmul:
                     np.float64, copy=False
                 )
             else:  # fall back to (slow) integer matmul beyond the float bound
-                products = (grouped @ self._encoded.astype(np.int64)).astype(np.float64)
+                products = (
+                    grouped @ self._encoded.astype(np.int64, order="K")
+                ).astype(np.float64)
         else:
             products = self._analog_products(grouped, positions)
 

@@ -42,12 +42,17 @@ import shutil
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.context import ENGINE_BACKENDS, ArchSpec
 from repro.engine.errors import EngineError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.context import SimContext
+    from repro.engine.params import NetworkParams
+    from repro.nn.network import Network
 
 #: bumped when the on-disk layout changes; loaders reject unknown versions
 #: (2: packed payloads carry a compute dtype — float32 states exist and the
@@ -404,7 +409,7 @@ class ProgrammedStateCache:
         root: Optional[Union[str, Path]] = None,
         memory_entries: int = 4,
         mmap: bool = False,
-    ):
+    ) -> None:
         if memory_entries < 0:
             raise ValueError("memory_entries must be non-negative")
         self.root = Path(root) if root is not None else None
@@ -472,11 +477,11 @@ class ProgrammedStateCache:
 
     def get_or_program(
         self,
-        network,
-        ctx=None,
+        network: "Network",
+        ctx: Optional["SimContext"] = None,
         mode: str = "analog",
         backend: Optional[str] = None,
-        params=None,
+        params: Optional["NetworkParams"] = None,
     ) -> Tuple[ProgrammedState, str]:
         """The state for ``(network, ctx, mode, backend)``, programming on miss.
 

@@ -46,11 +46,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.circuits.noise import SaltPart, stable_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.circuits.reram import ReRAMCellSpec
 
 
 @dataclass(frozen=True)
@@ -154,7 +157,7 @@ class FaultReport:
 
 def apply_tile_faults(
     slices: Sequence[np.ndarray],
-    cell,
+    cell: "ReRAMCellSpec",
     faults: FaultModel,
     spare_rows: int,
     salt: Tuple[SaltPart, ...],

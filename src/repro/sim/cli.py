@@ -39,7 +39,7 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.circuits.noise import HardwareNoiseConfig
+from repro.circuits.noise import HardwareNoiseConfig, stable_seed
 from repro.context import (
     COMPUTE_DTYPES,
     ENGINE_BACKENDS,
@@ -1283,7 +1283,9 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
     result = executor.run(x)
 
     # 3. im2col kernel micro-benchmark (vgg_d conv1_1 geometry), best of 3
-    xi = np.random.default_rng(0).normal(size=(3, 224, 224))
+    xi = np.random.default_rng(stable_seed("bench", "im2col")).normal(
+        size=(3, 224, 224)
+    )
 
     def best_of(func, repeats=3):
         best = float("inf")

@@ -1,0 +1,36 @@
+"""Known-bad fixture: dataclass fields that never reach their content keys.
+
+Self-contained miniature of the real spec classes: the class and function
+names match what the rule cross-references, so this file exercises every
+check without importing the engine.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    rows: int = 256
+    # numeric-affecting but absent from state_key below: finding
+    v_span: float = 1.2
+    # compare=False declares the field equality-irrelevant: auto-exempt
+    spare_rows: int = field(default=0, compare=False)
+
+
+def state_key(model: str, arch: ArchSpec, seed: int) -> str:
+    return f"{model}:{arch.rows}:{seed}"
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    model: str
+    # covered by .key but absent from _group_key below: finding
+    gain: float = 1.0
+
+    @property
+    def key(self) -> str:
+        return f"{self.model}:{self.gain}"
+
+
+def _group_key(spec: TrialSpec) -> str:
+    return str(spec.model)

@@ -1,0 +1,28 @@
+"""Known-good fixture: every field reaches its key (or is compare=False)."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    rows: int = 256
+    v_span: float = 1.2
+    spare_rows: int = field(default=0, compare=False)
+
+
+def state_key(model: str, arch: ArchSpec, seed: int) -> str:
+    return f"{model}:{arch.rows}:{arch.v_span}:{seed}"
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    model: str
+    gain: float = 1.0
+
+    @property
+    def key(self) -> str:
+        return f"{self.model}:{self.gain}"
+
+
+def _group_key(spec: TrialSpec) -> str:
+    return f"{spec.model}:{spec.gain}"

@@ -1,0 +1,21 @@
+"""Known-good fixture: layout-preserving casts and out-of-scope receivers."""
+
+import numpy as np
+
+
+def preserving_cast(encoded, dtype):
+    return encoded.astype(dtype, order="K")
+
+
+def payload_cast(self):
+    return self._encoded.astype(np.int64, order="K")
+
+
+def fresh_temporary(grouped, weights):
+    # a freshly computed temporary carries no layout contract
+    return np.ascontiguousarray(grouped.transpose(1, 0, 2)) @ weights
+
+
+def unrelated_names(delays, dtype):
+    # names outside the payload/recombination sets are out of scope
+    return delays.astype(dtype, copy=False)

@@ -1,0 +1,26 @@
+"""Known-bad fixture: unpicklable/mutable payloads at pool submission sites."""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+
+@dataclass
+class MutableSpec:
+    # not frozen: worker-side mutation diverges silently from the parent
+    x: int = 0
+
+
+def worker(spec: MutableSpec) -> int:
+    return spec.x
+
+
+def run():
+    with ProcessPoolExecutor() as pool:
+        fut = pool.submit(worker, MutableSpec())
+        pool.submit(lambda: 1)
+
+        def closure():
+            return 2
+
+        pool.submit(closure)
+    return fut

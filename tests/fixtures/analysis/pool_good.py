@@ -1,0 +1,29 @@
+"""Known-good fixture: frozen dataclasses and module-level workers."""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class FrozenSpec:
+    x: int = 0
+
+
+def worker(spec: FrozenSpec, retries: int = 0) -> int:
+    return spec.x + retries
+
+
+def chunk_worker(specs: Sequence[FrozenSpec], snapshot_path: str) -> int:
+    return len(specs)
+
+
+def _initializer(paths: Sequence[str]) -> None:
+    del paths
+
+
+def run(extra: Optional[FrozenSpec] = None):
+    with ProcessPoolExecutor(initializer=_initializer, initargs=(["a"],)) as pool:
+        fut = pool.submit(worker, extra or FrozenSpec())
+        list(pool.map(chunk_worker, [[FrozenSpec()]], ["snap"]))
+    return fut

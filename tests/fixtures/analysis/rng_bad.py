@@ -1,0 +1,24 @@
+"""Known-bad fixture: every RNG construction here violates rng-discipline."""
+
+import numpy as np
+
+
+def bench_input():
+    # bare integer seed: collides with every other default_rng(0) site
+    return np.random.default_rng(0).normal(size=(3,))
+
+
+def os_entropy():
+    # no seed at all: draws OS entropy, unreproducible
+    return np.random.default_rng()
+
+
+def global_state():
+    # the legacy global RNG: shared mutable state across the process
+    np.random.seed(42)
+    return np.random.normal(size=2)
+
+
+def underived(seed):
+    # a bare variable is entropy nobody salted
+    return np.random.default_rng(seed)

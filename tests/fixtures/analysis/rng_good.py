@@ -1,0 +1,25 @@
+"""Known-good fixture: every RNG construction derives its entropy."""
+
+import numpy as np
+from numpy.random import default_rng
+
+from repro.circuits.noise import stable_seed
+
+
+def derived(seed, salt):
+    a = np.random.default_rng(stable_seed("bench", "im2col"))
+    b = np.random.default_rng((seed, salt))
+    c = default_rng(np.random.SeedSequence(7))
+    return a, b, c
+
+
+def scoped(ctx, stream):
+    # context/stream helpers own the (seed, salt) derivation
+    return ctx.rng("programming"), stream.spawn()
+
+
+def local_generator_draws(seed, salt):
+    # draws on a *derived* Generator instance are fine — only the global
+    # numpy.random state is forbidden
+    rng = np.random.default_rng((seed, salt))
+    return rng.normal(size=3), rng.uniform()

@@ -5,8 +5,6 @@ import pytest
 from repro.energy import (
     compare_accelerators,
     estimate_network,
-    isaac_like_config,
-    prime_like_config,
     timely_config,
 )
 from repro.mapping import CrossbarConfig

@@ -15,8 +15,6 @@ from repro.engine import (
 )
 from repro.nn import (
     NETWORK_INPUT,
-    Concat,
-    Conv2D,
     ElementwiseAdd,
     GraphError,
     LayerInstance,

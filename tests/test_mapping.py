@@ -1,7 +1,5 @@
 """Crossbar-mapping and access-count invariants."""
 
-import pytest
-
 from repro.mapping import (
     CrossbarConfig,
     input_read_amplification,
