@@ -11,6 +11,7 @@ from typing import Dict, List
 
 from repro.analysis.core import Rule
 from repro.analysis.rules.content_keys import ContentKeyCompletenessRule
+from repro.analysis.rules.kernel_dispatch import KernelDispatchRule
 from repro.analysis.rules.layout import LayoutDisciplineRule
 from repro.analysis.rules.pool import PoolPicklabilityRule
 from repro.analysis.rules.rng import RngDisciplineRule
@@ -20,6 +21,7 @@ ALL_RULES: List[Rule] = [
     ContentKeyCompletenessRule(),
     PoolPicklabilityRule(),
     LayoutDisciplineRule(),
+    KernelDispatchRule(),
 ]
 
 RULES_BY_NAME: Dict[str, Rule] = {rule.name: rule for rule in ALL_RULES}
@@ -28,6 +30,7 @@ __all__ = [
     "ALL_RULES",
     "RULES_BY_NAME",
     "ContentKeyCompletenessRule",
+    "KernelDispatchRule",
     "LayoutDisciplineRule",
     "PoolPicklabilityRule",
     "RngDisciplineRule",

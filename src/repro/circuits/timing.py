@@ -47,6 +47,7 @@ from repro.circuits.analog_buffers import ChargingUnit, Comparator, XSubBuf
 from repro.circuits.converters import DTC
 from repro.circuits.noise import HardwareNoiseConfig
 from repro.circuits.reram import ReRAMCellSpec, ReRAMCrossbar
+from repro.kernels.dispatch import ReadoutScalars, readout_fused
 from repro.nn.quantization import split_msb_lsb
 
 
@@ -96,6 +97,18 @@ class TimeDomainChainSpec:
         self.dot_max = float((dtc.levels - 1) * (cell.levels - 1) * rows)
         #: output time per integer dot-product unit
         self.lsb_s = dtc.full_scale_s / self.dot_max
+        #: the chain constants as one flat pack for the kernel dispatch
+        #: layer; precomputing the two products cannot change a bit (each
+        #: is a single IEEE-754 double the chain formed per call anyway)
+        self._scalars = ReadoutScalars(
+            offset_coeff=self.v_dd * cell.g_min_s,
+            capacitance_f=self.capacitance_f,
+            v_threshold=self.v_threshold,
+            phase2_scale=self.capacitance_f / self.phase2_current_a,
+            full_scale_s=dtc.full_scale_s,
+            lsb_s=self.lsb_s,
+            dot_max=self.dot_max,
+        )
 
     @classmethod
     def from_context(cls, ctx: "SimContext") -> "TimeDomainChainSpec":
@@ -106,6 +119,10 @@ class TimeDomainChainSpec:
             rows=ctx.arch.rows,
             v_dd=ctx.arch.v_dd,
         )
+
+    def scalars(self) -> ReadoutScalars:
+        """The chain constants as a flat kernel-argument pack."""
+        return self._scalars
 
     def read_out(
         self,
@@ -130,17 +147,12 @@ class TimeDomainChainSpec:
         pass ``out=charges`` to run the whole chain fully in place with
         zero allocations, which is how the packed backend's chunked
         read-out keeps its working set bounded by one chunk.
+
+        The arithmetic itself lives behind :mod:`repro.kernels.dispatch`
+        (the historical numpy sequence is the always-available reference
+        tier; a compiled tier serves the same call bit-for-bit faster).
         """
-        offset = (self.v_dd * self.cell.g_min_s) * delay_sums
-        net = np.subtract(charges, offset, out=out)
-        np.clip(net, 0.0, None, out=net)
-        net /= self.capacitance_f  # phase-I capacitor voltage
-        np.subtract(self.v_threshold, net, out=net)
-        np.clip(net, 0.0, None, out=net)
-        net *= self.capacitance_f / self.phase2_current_a  # phase-II time
-        np.subtract(self.dtc.full_scale_s, net, out=net)
-        net /= self.lsb_s
-        return net
+        return readout_fused(charges, delay_sums, self._scalars, out=out)
 
 
 class TimeDomainDotProduct:

@@ -226,6 +226,22 @@ class SimContext:
     #: analog executions only — ideal mode stays the exact reference — and
     #: are applied at wiring time, so programmed states stay fault-free.
     faults: Optional["FaultModel"] = None
+    #: hot-loop implementation tier serving the read-out chain and im2col
+    #: (see :mod:`repro.kernels.dispatch`): ``"auto"`` (first available of
+    #: compiled C → numba → numpy, overridable via ``REPRO_KERNEL``) or an
+    #: explicit tier name.  Performance metadata, not simulation semantics:
+    #: float64 results are bit-identical across tiers, so the tier is
+    #: excluded from equality/hashing and from every content key — cached
+    #: programmed states and sweep trial keys are tier-independent.
+    kernel: str = field(default="auto", compare=False)
+    #: worker threads of the packed backend's chunked read-out walk.  With
+    #: ``chunk_bytes`` set and ``threads > 1``, independent charge chunks
+    #: run concurrently on a bounded thread pool (the matmul and the
+    #: compiled read-out kernel both release the GIL).  The chunk split
+    #: depends only on ``chunk_bytes`` and each chunk writes a disjoint
+    #: output slice, so results are byte-identical at any worker count —
+    #: like ``kernel``, pure performance metadata, excluded from keys.
+    threads: int = field(default=1, compare=False)
 
     # A SimContext is a bag of plain dataclasses (ArchSpec, the stateless
     # HardwareNoiseConfig) and scalars, so it pickles cleanly across the
@@ -249,6 +265,17 @@ class SimContext:
             )
         if self.chunk_bytes is not None and self.chunk_bytes <= 0:
             raise ValueError("chunk_bytes must be positive (or None for the default)")
+        # deferred import: repro.kernels.dispatch only imports numpy and
+        # repro.nn.functional, so no cycle back into this module
+        from repro.kernels.dispatch import KERNEL_CHOICES
+
+        if self.kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                f"unknown kernel tier {self.kernel!r}; "
+                f"choose from: {', '.join(KERNEL_CHOICES)}"
+            )
+        if self.threads < 1:
+            raise ValueError("threads must be a positive worker count")
 
     @property
     def np_compute_dtype(self) -> np.dtype:

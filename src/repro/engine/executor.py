@@ -60,7 +60,7 @@ from repro.engine.reference import (
     validate_supported,
 )
 from repro.engine.tiles import MODES, TiledMatmul
-from repro.nn import functional as F
+from repro.kernels.dispatch import im2col_pack
 from repro.nn.layers import Conv2D, FullyConnected
 from repro.nn.network import NETWORK_INPUT, LayerInstance, Network
 from repro.nn.quantization import (
@@ -339,6 +339,9 @@ class _MappedComputeLayer:
         self.kernel = state.kernel
         self.n_groups = state.n_groups
         self.out_channels = state.out_channels
+        #: hot-loop tier request for the im2col gather (performance
+        #: metadata off the context; never part of the layer state)
+        self._kernel_tier = ctx.kernel
         # noise scopes derive from the layer index, so noisy draws are
         # independent of how many executors were constructed before this one
         if backend == "packed":
@@ -421,8 +424,13 @@ class _MappedComputeLayer:
             return out
         # conv: one im2col over the batch; the channel-major patch layout
         # keeps each group's rows contiguous, so the grouped matmul slices
-        # the same columns the per-group im2col used to produce.
-        cols, out_h, out_w = F.im2col_batch(values, self.kernel, self.stride, self.pad)
+        # the same columns the per-group im2col used to produce.  Routed
+        # through the kernel dispatch layer (compiled gather when
+        # available, the historical numpy strided copy otherwise — same
+        # bytes and layout either way).
+        cols, out_h, out_w = im2col_pack(
+            values, self.kernel, self.stride, self.pad, kernel=self._kernel_tier
+        )
         positions = cols.shape[1]
         out = self._matmul(cols.reshape(n * positions, -1))
         out = out.reshape(n, positions, self.out_channels)

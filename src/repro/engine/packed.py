@@ -43,6 +43,8 @@ constructed first.
 from __future__ import annotations
 
 import math
+import queue
+from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
@@ -51,6 +53,7 @@ from repro.circuits.timing import TimeDomainChainSpec
 from repro.context import ArchSpec, SimContext
 from repro.engine.errors import EngineError
 from repro.engine.tiles import MODES
+from repro.kernels.dispatch import readout_fused
 
 #: float64 integer matmuls are exact below this product-sum magnitude
 _EXACT_FLOAT_BOUND = float(2 ** 53)
@@ -302,6 +305,11 @@ class PackedMatmul:
         ]
         #: chain scalars shared by every tile of the layer (full tile height)
         self.spec = TimeDomainChainSpec.from_context(ctx)
+        #: hot-loop tier request and chunk-walk worker count — performance
+        #: metadata off the context (compare=False there, absent from every
+        #: content key); results do not depend on either
+        self._kernel: Optional[str] = ctx.kernel
+        self._threads = int(ctx.threads)
         #: noise scopes derived from (seed, salt) — construction-order free
         salt_parts = salt if isinstance(salt, tuple) else (salt,)
         program_noise = None
@@ -451,17 +459,83 @@ class PackedMatmul:
         )
         return max(1, min(positions, budget // max(1, per_position)))
 
+    def _chunk_buffers(self, chunk: int) -> Tuple[np.ndarray, np.ndarray]:
+        """One reusable (charges, delay_sums) buffer pair for the chunk walk."""
+        dtype = self.compute_dtype
+        charges = np.empty(
+            (self.row_tiles, self.n_slices, self.n_groups, chunk, self.group_cols),
+            dtype=dtype,
+        )
+        delay_sums = np.empty((self.row_tiles, 1, self.n_groups, chunk, 1), dtype=dtype)
+        return charges, delay_sums
+
+    def _run_chunk(
+        self,
+        delays: np.ndarray,
+        out: np.ndarray,
+        p0: int,
+        n: int,
+        buffers: Tuple[np.ndarray, np.ndarray],
+    ) -> None:
+        """Charge, read out and recombine positions ``[p0, p0 + n)``.
+
+        Fills the chunk's slice of ``out`` and touches nothing else, so
+        chunks are independent: the serial walk and the thread pool call
+        this identically (on identically-shaped buffers — the chunk split
+        never depends on the worker count), which is what makes threaded
+        results byte-identical to serial ones.
+        """
+        spec = self.spec
+        charges, delay_sums = buffers
+        block = charges[:, :, :, :n]
+        sums = delay_sums[:, :, :, :n]
+        for rt, (r0, height) in enumerate(self._row_spans):
+            d = delays[:, p0 : p0 + n, r0 : r0 + height]
+            sums[rt, 0, :, :, 0] = d.sum(axis=2)
+            for s, conductances in enumerate(self._conductances):
+                np.matmul(d, conductances[:, r0 : r0 + height, :], out=block[rt, s])
+        block *= self.compute_dtype.type(spec.v_dd)
+        # the whole per-chunk chain — reference-column subtract, clips,
+        # phase-I/II conversion, optional early-TDC saturation and the
+        # slice-cascade recombination (sum over row tiles t, power-of-two
+        # weights over s) — in one dispatched kernel call, fully in place
+        # on the chunk buffer, accumulated straight into the output slice
+        readout_fused(
+            block,
+            sums,
+            spec.scalars(),
+            out=block,
+            saturation=self._saturation,
+            shifts=self.shifts,
+            recombine_out=out[:, p0 : p0 + n],
+            kernel=self._kernel,
+        )
+
+    def _run_chunk_pooled(
+        self,
+        delays: np.ndarray,
+        out: np.ndarray,
+        p0: int,
+        n: int,
+        buffer_pool: "queue.Queue[Tuple[np.ndarray, np.ndarray]]",
+    ) -> None:
+        """Thread-pool task: borrow a buffer pair, run one chunk, return it."""
+        buffers = buffer_pool.get()
+        try:
+            self._run_chunk(delays, out, p0, n, buffers)
+        finally:
+            buffer_pool.put(buffers)
+
     def _analog_products(self, grouped: np.ndarray, positions: int) -> np.ndarray:
         """Time-domain estimate of the grouped integer products.
 
         One ``codes @ G`` matmul per (row tile, slice) fills a charge tensor
         of shape ``(row_tiles, n_slices, groups, chunk, group_cols)``; the
-        elementwise chain then runs fully in place over that tensor
-        (``read_out(..., out=charges)`` — zero chain temporaries) and the
-        partial products recombine digitally — the sum over row tiles and
-        the power-of-two slice cascade collapse into a single einsum per
-        chunk, accumulated straight into the ``(groups, positions,
-        group_cols)`` output.
+        elementwise chain and the digital recombination — the sum over row
+        tiles and the power-of-two slice cascade — then run as one fused
+        :func:`repro.kernels.dispatch.readout_fused` pass per chunk, fully
+        in place on the chunk buffer (zero chain temporaries), accumulated
+        straight into the ``(groups, positions, group_cols)`` output.
 
         With ``ctx.chunk_bytes`` unset the chunk is the whole batch (the
         historical single-pass behaviour, bit-identical to prior
@@ -471,6 +545,14 @@ class PackedMatmul:
         the entire im2col output.  The full delay tensor (and any DTC
         jitter draw on it) is computed *before* the chunk walk, so noisy
         results are independent of the chunking.
+
+        With ``ctx.threads > 1`` (and more than one chunk) the chunks run
+        concurrently on a bounded :class:`ThreadPoolExecutor` over a pool
+        of per-worker buffer pairs — the BLAS matmul and the compiled
+        read-out kernel both release the GIL, so the walk scales with
+        cores.  The chunk split depends only on ``chunk_bytes`` and every
+        chunk writes a disjoint output slice, so the result is
+        byte-identical at any worker count.
         """
         spec = self.spec
         noise = self._read_noise
@@ -488,31 +570,23 @@ class PackedMatmul:
         # recombination and the offset correction downstream cancel
         # large-magnitude operands (see the ``shifts`` note in ``_wire``)
         out = np.empty((self.n_groups, positions, self.group_cols))
-        charges = np.empty(
-            (self.row_tiles, self.n_slices, self.n_groups, chunk, self.group_cols),
-            dtype=dtype,
-        )
-        delay_sums = np.empty((self.row_tiles, 1, self.n_groups, chunk, 1), dtype=dtype)
-        v_dd = dtype.type(spec.v_dd)
-        for p0 in range(0, positions, chunk):
-            n = min(chunk, positions - p0)
-            block = charges[:, :, :, :n]
-            sums = delay_sums[:, :, :, :n]
-            for rt, (r0, height) in enumerate(self._row_spans):
-                d = delays[:, p0 : p0 + n, r0 : r0 + height]
-                sums[rt, 0, :, :, 0] = d.sum(axis=2)
-                for s, conductances in enumerate(self._conductances):
-                    np.matmul(d, conductances[:, r0 : r0 + height, :], out=block[rt, s])
-            block *= v_dd
-            estimates = spec.read_out(block, sums, out=block)
-            if self._saturation is not None:
-                # early TDC clipping: per-slice estimates above the
-                # saturation point resolve to the saturation code itself
-                np.minimum(
-                    estimates,
-                    dtype.type(self._saturation * spec.dot_max),
-                    out=estimates,
-                )
-            # recombine: sum over row tiles (t), slice cascade weights over s
-            np.einsum("s,tsgpc->gpc", self.shifts, estimates, out=out[:, p0 : p0 + n])
+        spans = [
+            (p0, min(chunk, positions - p0)) for p0 in range(0, positions, chunk)
+        ]
+        workers = min(self._threads, len(spans))
+        if workers > 1:
+            buffer_pool: "queue.Queue[Tuple[np.ndarray, np.ndarray]]" = queue.Queue()
+            for _ in range(workers):
+                buffer_pool.put(self._chunk_buffers(chunk))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(self._run_chunk_pooled, delays, out, p0, n, buffer_pool)
+                    for p0, n in spans
+                ]
+                for future in futures:
+                    future.result()
+        else:
+            buffers = self._chunk_buffers(chunk)
+            for p0, n in spans:
+                self._run_chunk(delays, out, p0, n, buffers)
         return out

@@ -80,7 +80,13 @@ def state_key(
     every noise scale / trial of a Monte-Carlo sweep shares one entry.
     ``compute_dtype`` **is** part of the key — a float32-programmed payload
     holds different bytes than a float64 one, so the two must never alias
-    in a shared cache.
+    in a shared cache.  The kernel tier (``SimContext.kernel``) and the
+    chunk-walk thread count (``SimContext.threads``) are deliberately
+    **not** part of the key either: they select *how* the read-out runs,
+    not *what* it computes — float64 results are bit-identical across
+    tiers and worker counts (the cross-implementation equivalence tests
+    pin this), so a state programmed under any tier serves every tier.
+    Both fields are ``compare=False`` on the context for the same reason.
     """
     from repro.circuits.noise import stable_seed
 

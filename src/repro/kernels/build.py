@@ -1,0 +1,31 @@
+"""Ahead-of-time build of the compiled kernel tier.
+
+``python -m repro.kernels.build`` compiles ``readout.c`` into the kernel
+cache (the same binary the lazy first-use path would produce) and reports
+where it landed, so deployments and CI can pay the compile once up front
+and fail loudly when a compiler is expected but missing.  Exit status 0
+on success, 1 when the tier cannot be built.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.kernels import c_impl, dispatch
+
+
+def main() -> int:
+    try:
+        path = c_impl.build(verbose=True)
+        c_impl.load()
+    except c_impl.KernelBuildError as exc:
+        print(f"compiled kernel tier unavailable: {exc}", file=sys.stderr)
+        return 1
+    tiers = dispatch.available()
+    print(f"compiled kernel ready: {path}")
+    print(f"available tiers: {', '.join(tiers)} (default: {dispatch.default_kernel()})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

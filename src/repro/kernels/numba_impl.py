@@ -1,0 +1,175 @@
+"""The numba kernel tier: ``@njit(cache=True)`` mirrors of ``readout.c``.
+
+Used when numba (an optional dependency: ``pip install timely-repro`` plus
+``numba``) is installed but the C tier is not buildable — e.g. no system
+compiler.  Importing this module raises :class:`ImportError` when numba is
+missing; the dispatcher treats that as "tier unavailable" and falls back.
+
+The jitted loops replicate the C kernels' arithmetic exactly — per-element
+chain in the array dtype, float64 accumulation for the slice cascade,
+t-major/s-inner recombination order — so float64 results remain
+bit-identical to the numpy reference (numba, like the C build, compiles
+without FMA contraction by default on the LLVM fast-math-off path).
+Shape/dtype guards mirror ``c_impl``: anything off the packed fast path
+delegates to :mod:`repro.kernels.numpy_impl`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+import numba  # noqa: F401  (availability probe: ImportError => tier off)
+from numba import njit, prange  # noqa: F401
+
+from repro.kernels import numpy_impl
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernels.dispatch import ReadoutScalars
+
+_SUPPORTED = (np.dtype(np.float64), np.dtype(np.float32))
+
+
+@njit(cache=True, fastmath=False)
+def _readout_chain_jit(
+    work, delay_sums, zero, offset_coeff, capacitance, v_threshold,
+    phase2_scale, full_scale, lsb, saturation, has_saturation,
+    shifts, rec_out, has_recombine,
+):  # pragma: no cover - requires numba
+    # ``zero`` arrives pre-cast to the work dtype so the clip comparisons
+    # and assignments never promote a float32 chain to float64
+    tiles, slices, groups, pos, cols = work.shape
+    if has_recombine:
+        rec_out[:, :, :] = 0.0
+    for t in range(tiles):
+        for s in range(slices):
+            weight = shifts[s] if has_recombine else 0.0
+            for g in range(groups):
+                for p in range(pos):
+                    offset = offset_coeff * delay_sums[t, 0, g, p, 0]
+                    for c in range(cols):
+                        v = work[t, s, g, p, c] - offset
+                        if v < zero:
+                            v = zero
+                        v /= capacitance
+                        v = v_threshold - v
+                        if v < zero:
+                            v = zero
+                        v *= phase2_scale
+                        v = full_scale - v
+                        v /= lsb
+                        if has_saturation and v > saturation:
+                            v = saturation
+                        work[t, s, g, p, c] = v
+                        if has_recombine:
+                            rec_out[g, p, c] += weight * np.float64(v)
+
+
+@njit(cache=True, fastmath=False)
+def _slice_recombine_jit(estimates, shifts, rec_out):  # pragma: no cover
+    tiles, slices, groups, pos, cols = estimates.shape
+    rec_out[:, :, :] = 0.0
+    for t in range(tiles):
+        for s in range(slices):
+            weight = shifts[s]
+            for g in range(groups):
+                for p in range(pos):
+                    for c in range(cols):
+                        rec_out[g, p, c] += weight * np.float64(
+                            estimates[t, s, g, p, c]
+                        )
+
+
+def _fast_path_ok(charges, delay_sums, out, shifts, recombine_out) -> bool:
+    if not isinstance(charges, np.ndarray) or charges.ndim != 5:
+        return False
+    if charges.dtype not in _SUPPORTED:
+        return False
+    if not isinstance(delay_sums, np.ndarray) or delay_sums.dtype != charges.dtype:
+        return False
+    tiles, slices, groups, pos, cols = charges.shape
+    if delay_sums.shape != (tiles, 1, groups, pos, 1):
+        return False
+    if out is not None and out is not charges:
+        if (
+            not isinstance(out, np.ndarray)
+            or out.shape != charges.shape
+            or out.dtype != charges.dtype
+        ):
+            return False
+    if shifts is not None:
+        if recombine_out is None or recombine_out.dtype != np.float64:
+            return False
+        if recombine_out.shape != (groups, pos, cols):
+            return False
+        if np.asarray(shifts).shape != (slices,):
+            return False
+    return True
+
+
+def readout_fused(
+    charges: np.ndarray,
+    delay_sums: np.ndarray,
+    scalars: "ReadoutScalars",
+    out: Optional[np.ndarray] = None,
+    saturation: Optional[float] = None,
+    shifts: Optional[np.ndarray] = None,
+    recombine_out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    if not _fast_path_ok(charges, delay_sums, out, shifts, recombine_out):
+        return numpy_impl.readout_fused(
+            charges, delay_sums, scalars,
+            out=out, saturation=saturation,
+            shifts=shifts, recombine_out=recombine_out,
+        )
+    if out is None:
+        work = charges.copy()
+    elif out is charges:
+        work = charges
+    else:
+        np.copyto(out, charges)
+        work = out
+    dt = work.dtype.type
+    has_recombine = shifts is not None
+    shift_weights = (
+        np.ascontiguousarray(np.asarray(shifts, dtype=np.float64))
+        if has_recombine
+        else np.zeros(work.shape[1])
+    )
+    rec = recombine_out if has_recombine else np.empty((0, 0, 0))
+    _readout_chain_jit(
+        work, delay_sums, dt(0.0),
+        dt(scalars.offset_coeff), dt(scalars.capacitance_f),
+        dt(scalars.v_threshold), dt(scalars.phase2_scale),
+        dt(scalars.full_scale_s), dt(scalars.lsb_s),
+        dt(0.0 if saturation is None else saturation * scalars.dot_max),
+        saturation is not None,
+        shift_weights, rec, has_recombine,
+    )
+    return work
+
+
+def slice_recombine(
+    shifts: np.ndarray, estimates: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    if (
+        not isinstance(estimates, np.ndarray)
+        or estimates.ndim != 5
+        or estimates.dtype not in _SUPPORTED
+        or out.dtype != np.float64
+        or out.shape != estimates.shape[2:]
+        or np.asarray(shifts).shape != (estimates.shape[1],)
+    ):
+        return numpy_impl.slice_recombine(shifts, estimates, out)
+    shift_weights = np.ascontiguousarray(np.asarray(shifts, dtype=np.float64))
+    _slice_recombine_jit(estimates, shift_weights, out)
+    return out
+
+
+def im2col_pack(
+    x: np.ndarray, kernel: int, stride: int = 1, pad: int = 0
+) -> Tuple[np.ndarray, int, int]:
+    # the im2col gather is pure data movement and the numpy strided copy
+    # already runs at memcpy speed; no jitted variant needed
+    return numpy_impl.im2col_pack(x, kernel, stride=stride, pad=pad)

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -48,10 +49,36 @@ from repro.context import (
     accelerator_factories,
 )
 from repro.energy.estimator import NetworkEstimate, compare_accelerators
+from repro.kernels.dispatch import KERNEL_CHOICES
 from repro.nn.models import build_model, list_models
 from repro.nn.network import Network
 
 _SUBCOMMANDS = ("estimate", "run", "program", "sweep", "bench")
+
+
+def _positive_int(text: str) -> int:
+    """``argparse`` type for arguments that must be strictly positive.
+
+    ``type=int`` silently accepts 0 and negatives, deferring the failure
+    to whatever downstream code divides or allocates with the value; this
+    converter rejects them at parse time with a proper usage error.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})"
+        )
+    return value
+
+
+def _resolved_kernel(requested: str) -> str:
+    """The tier name the dispatcher actually selected for ``requested``."""
+    from repro.kernels.dispatch import resolve
+
+    return resolve(requested)[0]
 
 
 def _add_arch_arguments(parser: argparse.ArgumentParser) -> None:
@@ -76,24 +103,46 @@ def _add_compute_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--chunk-bytes",
-        type=int,
-        default=0,
+        type=_positive_int,
+        default=None,
         metavar="BYTES",
         help=(
             "bound the packed read-out working set: split the stacked "
             "charge tensor into chunks of at most BYTES and run the "
-            "time-domain chain per chunk in place (0 = historical "
-            "single-pass read-out, bit-identical to earlier releases)"
+            "time-domain chain per chunk in place (omit for the "
+            "historical single-pass read-out, bit-identical to earlier "
+            "releases)"
+        ),
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help=(
+            "read-out/im2col kernel tier (default: auto — fastest "
+            "available; every tier is bit-identical in float64, so this "
+            "never changes results or content keys)"
+        ),
+    )
+    parser.add_argument(
+        "--threads",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker threads for the chunked packed read-out walk "
+            "(effective with --chunk-bytes and a GIL-releasing kernel "
+            "tier; byte-identical output at any count; default: 1)"
         ),
     )
 
 
 def _compute_kwargs(args: argparse.Namespace) -> dict:
-    if args.chunk_bytes < 0:
-        raise ValueError("--chunk-bytes must be non-negative")
     return {
         "compute_dtype": args.compute_dtype,
-        "chunk_bytes": args.chunk_bytes or None,
+        "chunk_bytes": args.chunk_bytes,
+        "kernel": args.kernel,
+        "threads": args.threads,
     }
 
 
@@ -294,12 +343,13 @@ def build_run_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--batch",
-        type=int,
+        type=_positive_int,
         default=0,
         metavar="N",
         help=(
             "run a batch of N deterministic random images instead of a "
-            "single image (0 = single image); matmuls amortise over the batch"
+            "single image (omit for a single image); matmuls amortise "
+            "over the batch"
         ),
     )
     parser.add_argument(
@@ -756,8 +806,6 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
         arch = _arch_from_args(args)
         if args.noise < 0:
             raise ValueError("--noise scale must be non-negative")
-        if args.batch < 0:
-            raise ValueError("--batch must be non-negative")
         if args.stream and args.state_cache is None:
             raise ValueError("--stream needs --state-cache (a disk-backed state)")
         compute = _compute_kwargs(args)
@@ -839,7 +887,9 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
             "noise_scale": args.noise,
             "seed": args.seed,
             "compute_dtype": args.compute_dtype,
-            "chunk_bytes": args.chunk_bytes or None,
+            "chunk_bytes": args.chunk_bytes,
+            "kernel": _resolved_kernel(args.kernel),
+            "threads": args.threads,
             "stream": args.stream,
             "crossbars": executor.crossbars,
             "rel_error": _err(result.rel_error),
@@ -894,10 +944,14 @@ def main_run(argv: Optional[Sequence[str]] = None) -> int:
         f", {args.compute_dtype}" if args.compute_dtype != COMPUTE_DTYPES[0] else ""
     )
     stream_note = ", streamed" if args.stream else ""
+    kernel_note = (
+        f", kernel {_resolved_kernel(args.kernel)}" if args.kernel != "auto" else ""
+    )
+    threads_note = f", {args.threads} threads" if args.threads > 1 else ""
     print(
         f"Engine run — {args.model} ({args.mode}, {args.backend} backend, "
         f"noise x{args.noise:g}, seed {args.seed}{batch_note}"
-        f"{dtype_note}{stream_note})"
+        f"{dtype_note}{stream_note}{kernel_note}{threads_note})"
     )
     header = f"{'layer':<22} {'kind':<8} {'xbars':>6} {'rel. error':>12}"
     print(header)
@@ -968,9 +1022,20 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--trials",
-        type=int,
+        type=_positive_int,
         default=8,
         help="Monte-Carlo trials per grid point (default: 8)",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help=(
+            "read-out/im2col kernel tier for every trial, exported to "
+            "pool workers via REPRO_KERNEL (default: auto; tiers are "
+            "bit-identical in float64 so content keys and resumability "
+            "are unaffected)"
+        ),
     )
     parser.add_argument(
         "--workers",
@@ -1137,6 +1202,12 @@ def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
         print(f"invalid sweep configuration: {exc}", file=sys.stderr)
         return 2
 
+    if args.kernel != "auto":
+        # Pool workers inherit the environment, so exporting the tier here
+        # reaches every trial without widening TrialSpec or content keys
+        # (the tier is bit-identical metadata, not a result dimension).
+        os.environ["REPRO_KERNEL"] = args.kernel
+
     store = SweepStore(args.output)
     progress = None if args.json else print
     from repro.engine import EngineError, ProgrammedStateCache
@@ -1173,6 +1244,7 @@ def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
             "executed": outcome.executed,
             "failed": outcome.failed,
             "workers": args.workers,
+            "kernel": _resolved_kernel(args.kernel),
             "elapsed_s": outcome.elapsed_s,
             "program_s": outcome.program_s,
             "pool_startup_s": outcome.pool_startup_s,
@@ -1542,6 +1614,76 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         },
     }
 
+    # 9. kernel dispatch: the fused time-domain read-out chain timed per
+    # available tier on one resnet_18-class charge block (3 input slices x
+    # 2 weight slices x 3136 positions x 64 columns, the conv2_x working
+    # set), every tier fed identical inputs through the public dispatch
+    # entry point; plus the threaded chunk walk at 1/2/4 workers on the
+    # section-2 batch.  Tiers are bit-identical in float64 so the fastest
+    # result is also the reference result.
+    from repro.circuits.timing import TimeDomainChainSpec
+    from repro.kernels import dispatch as kernel_dispatch
+
+    kscalars = TimeDomainChainSpec.from_context(ctx).scalars()
+    krng = np.random.default_rng(stable_seed("bench", "kernels"))
+    kcharges = krng.random((3, 2, 1, 3136, 64)) * 1e-12
+    kdelays = krng.random((3, 1, 1, 3136, 1)) * 1e-9
+    kshifts = np.asarray([16.0, 1.0])
+    krec = np.empty((1, 3136, 64))
+    kwork = np.empty_like(kcharges)
+
+    def _time_tier(tier: str, repeats: int = 3) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            np.copyto(kwork, kcharges)
+            start = time.perf_counter()
+            kernel_dispatch.readout_fused(
+                kwork,
+                kdelays,
+                kscalars,
+                out=kwork,
+                saturation=1.2,
+                shifts=kshifts,
+                recombine_out=krec,
+                kernel=tier,
+            )
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    tier_times = {tier: _time_tier(tier) for tier in kernel_dispatch.available()}
+    threaded_runs = {
+        workers: _timed_engine_run(
+            engine_net,
+            SimContext(chunk_bytes=1 << 16, threads=workers),
+            "packed",
+            x,
+            repeats=3,
+        )["elapsed_s"]
+        for workers in (1, 2, 4)
+    }
+    kernels_bench = {
+        "tiers": list(kernel_dispatch.available()),
+        "default": kernel_dispatch.default_kernel(),
+        "unavailable": kernel_dispatch.unavailable_reasons(),
+        "cores": os.cpu_count() or 1,
+        "readout_elements": int(kcharges.size),
+        "readout_s": tier_times,
+        "readout_gelems_per_sec": {
+            tier: kcharges.size / elapsed / 1e9
+            for tier, elapsed in tier_times.items()
+        },
+        # headline: compiled fused chain vs the numpy reference chain
+        "fused_speedup": (
+            tier_times["numpy"] / tier_times["c"] if "c" in tier_times else None
+        ),
+        "threaded": {
+            "model": args.engine_model,
+            "chunk_bytes": 1 << 16,
+            "elapsed_s": {str(w): t for w, t in threaded_runs.items()},
+            "speedup": threaded_runs[1] / min(threaded_runs[2], threaded_runs[4]),
+        },
+    }
+
     doc = {
         "estimator": {
             "model": args.estimator_model,
@@ -1578,6 +1720,7 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         "liveness": liveness,
         "faults": faults_bench,
         "streaming": streaming,
+        "kernels": kernels_bench,
         "deep_engine": deep,
     }
     with open(output, "w") as handle:
@@ -1653,6 +1796,17 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         f"({streaming['stream']['wired_reduction']:.1f}x), RSS "
         f"{streaming['stream']['streamed_peak_rss_mb']:.0f} MB vs "
         f"{streaming['stream']['resident_peak_rss_mb']:.0f} MB"
+    )
+    fused_note = (
+        f"{kernels_bench['fused_speedup']:.1f}x fused c vs numpy"
+        if kernels_bench["fused_speedup"] is not None
+        else "compiled tier unavailable"
+    )
+    print(
+        f"  kernels (tiers: {', '.join(kernels_bench['tiers'])}; default "
+        f"{kernels_bench['default']}): {fused_note}; threaded chunk walk "
+        f"{kernels_bench['threaded']['speedup']:.2f}x on "
+        f"{kernels_bench['cores']} core(s)"
     )
     if deep is not None:
         print(

@@ -41,6 +41,7 @@ def test_registry_names_are_unique_and_described():
         "content-key-completeness",
         "pool-picklability",
         "layout-discipline",
+        "kernel-dispatch",
     }
 
 
@@ -102,6 +103,40 @@ def test_pool_bad_fixture_flags_mutable_spec_lambda_and_closure():
 
 def test_pool_good_fixture_is_clean():
     assert _findings(FIXTURES / "pool_good.py", rules=_rule("pool-picklability")) == []
+
+
+# -- kernel-dispatch ----------------------------------------------------------
+
+
+def test_kernel_dispatch_bad_fixture_flags_every_import_form():
+    findings = _findings(
+        FIXTURES / "kernel_dispatch_bad.py", rules=_rule("kernel-dispatch")
+    )
+    messages = "\n".join(f.message for f in findings)
+    assert len(findings) == 3
+    assert all(f.rule == "kernel-dispatch" for f in findings)
+    assert "repro.kernels.c_impl" in messages
+    assert "repro.kernels.numba_impl" in messages
+    assert "repro.kernels.numpy_impl" in messages
+    assert "repro.kernels.dispatch" in messages  # the remedy is named
+
+
+def test_kernel_dispatch_good_fixture_is_clean():
+    assert (
+        _findings(
+            FIXTURES / "kernel_dispatch_good.py", rules=_rule("kernel-dispatch")
+        )
+        == []
+    )
+
+
+def test_kernel_dispatch_exempts_the_kernels_package_itself():
+    kernels = SRC / "repro" / "kernels"
+    findings = run_analysis([str(SRC)], rules=_rule("kernel-dispatch")).findings
+    assert findings == []
+    # sanity: the dispatcher really does import its tiers, so the absence of
+    # findings proves the exemption (not an accidentally-empty package)
+    assert "numpy_impl" in (kernels / "dispatch.py").read_text()
 
 
 # -- content-key-completeness -------------------------------------------------

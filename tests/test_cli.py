@@ -140,9 +140,69 @@ def test_run_batched(capsys):
     assert doc["rel_error"] < 0.1
 
 
-def test_run_negative_batch_exits_2(capsys):
-    assert cli.main(["run", "--model", "tiny_cnn", "--batch", "-1"]) == 2
-    assert "invalid configuration" in capsys.readouterr().err
+@pytest.mark.parametrize("value", ["-1", "0"])
+def test_run_non_positive_batch_is_a_usage_error(capsys, value):
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(["run", "--model", "tiny_cnn", "--batch", value])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "--batch" in err and "must be a positive integer" in err
+
+
+@pytest.mark.parametrize("value", ["-5", "0"])
+def test_run_non_positive_chunk_bytes_is_a_usage_error(capsys, value):
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(["run", "--model", "tiny_cnn", "--chunk-bytes", value])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "--chunk-bytes" in err and "must be a positive integer" in err
+
+
+@pytest.mark.parametrize("value", ["-1", "0"])
+def test_sweep_non_positive_trials_is_a_usage_error(capsys, value):
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(["sweep", "--trials", value])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "--trials" in err and "must be a positive integer" in err
+
+
+def test_run_non_integer_chunk_bytes_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit):
+        cli.main(["run", "--model", "tiny_cnn", "--chunk-bytes", "lots"])
+    assert "invalid int value" in capsys.readouterr().err
+
+
+def test_run_kernel_and_threads_reported_in_json(capsys):
+    assert cli.main(
+        ["run", "--model", "tiny_cnn", "--json", "--kernel", "numpy",
+         "--chunk-bytes", "65536", "--threads", "2"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kernel"] == "numpy"
+    assert doc["threads"] == 2
+    assert doc["chunk_bytes"] == 65536
+
+
+def test_run_kernel_tiers_agree_bitwise(capsys):
+    from repro.kernels.dispatch import available
+
+    docs = {}
+    for tier in available():
+        assert cli.main(
+            ["run", "--model", "tiny_cnn", "--json", "--kernel", tier]
+        ) == 0
+        docs[tier] = json.loads(capsys.readouterr().out)
+    reference = docs["numpy"]
+    for tier, doc in docs.items():
+        assert doc["kernel"] == tier
+        assert doc["rel_error"] == reference["rel_error"]
+
+
+def test_run_rejects_unknown_kernel(capsys):
+    with pytest.raises(SystemExit):
+        cli.main(["run", "--model", "tiny_cnn", "--kernel", "fortran"])
+    assert "--kernel" in capsys.readouterr().err
 
 
 def test_run_table_output(capsys):
@@ -276,7 +336,9 @@ def test_run_compute_dtype_and_chunking(capsys):
     assert chunked["chunk_bytes"] == 8192
     # chunk-fused read-out agrees to float rounding; at this size exactly
     assert abs(chunked["rel_error"] - f64["rel_error"]) < 1e-9
-    assert cli.main(base + ["--chunk-bytes", "-1"]) == 2
+    with pytest.raises(SystemExit):  # rejected at parse time since PR-10
+        cli.main(base + ["--chunk-bytes", "-1"])
+    capsys.readouterr()
 
 
 def test_run_stream_matches_resident_and_bounds_wired_peak(tmp_path, capsys):

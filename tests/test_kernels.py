@@ -1,0 +1,339 @@
+"""Kernel-dispatch tests: the cross-implementation equivalence matrix.
+
+Every available tier must reproduce the numpy reference bit-for-bit in
+float64 (the reference *is* the historical read-out arithmetic, extracted
+verbatim), stay within float rounding in float32, and the threaded chunk
+walk must be byte-identical at any worker count.  Dispatch policy —
+selection order, ``REPRO_KERNEL``, unknown-tier errors, graceful
+degradation — is exercised through the same public entry points the
+engine uses.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.circuits.noise import stable_seed
+from repro.circuits.timing import TimeDomainChainSpec
+from repro.context import SimContext
+from repro.engine import NetworkExecutor
+from repro.kernels import dispatch
+from repro.kernels.dispatch import (
+    KERNEL_TIERS,
+    KernelError,
+    ReadoutScalars,
+    available,
+    im2col_pack,
+    readout_fused,
+    resolve,
+    slice_recombine,
+)
+from repro.nn.models import build_model
+
+TIERS = available()
+COMPILED = [name for name in TIERS if name != "numpy"]
+
+SCALARS = ReadoutScalars(
+    offset_coeff=1.2 * 4e-6,
+    capacitance_f=2.4e-12,
+    v_threshold=0.6,
+    phase2_scale=1.9e-7,
+    full_scale_s=5.1e-7,
+    lsb_s=2e-9,
+    dot_max=4080.0,
+)
+
+
+def _chain_inputs(dtype, t=3, s=2, g=2, p=37, c=11, seed=("kernels", "chain")):
+    rng = np.random.default_rng(stable_seed(*seed))
+    charges = (rng.random((t, s, g, p, c)) * 2e-12).astype(dtype)
+    delay_sums = (rng.random((t, 1, g, p, 1)) * 4e-7).astype(dtype)
+    return charges, delay_sums
+
+
+def _shifts(s=2):
+    return np.asarray([2.0 ** (4 * i) for i in reversed(range(s))])
+
+
+# -- float64: every tier must be bit-for-bit the numpy reference --------------
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@pytest.mark.parametrize("saturation", [None, 0.25])
+@pytest.mark.parametrize("recombine", [False, True])
+def test_tier_matches_numpy_bitwise_f64(tier, saturation, recombine):
+    charges, delay_sums = _chain_inputs(np.float64)
+    shifts = _shifts() if recombine else None
+    rec_ref = np.empty(charges.shape[2:]) if recombine else None
+    rec_got = np.empty(charges.shape[2:]) if recombine else None
+    ref = readout_fused(
+        charges,
+        delay_sums,
+        SCALARS,
+        saturation=saturation,
+        shifts=shifts,
+        recombine_out=rec_ref,
+        kernel="numpy",
+    )
+    got = readout_fused(
+        charges,
+        delay_sums,
+        SCALARS,
+        saturation=saturation,
+        shifts=shifts,
+        recombine_out=rec_got,
+        kernel=tier,
+    )
+    np.testing.assert_array_equal(got, ref)
+    if recombine:
+        np.testing.assert_array_equal(rec_got, rec_ref)
+    # the inputs were left untouched
+    assert charges.flags.writeable and delay_sums.flags.writeable
+
+
+@pytest.mark.parametrize("tier", COMPILED)
+def test_tier_matches_numpy_on_partial_tile_views(tier):
+    """Tail chunks are non-contiguous views: charges[:, :, :, :n]."""
+    charges, delay_sums = _chain_inputs(np.float64, p=29)
+    view_c = charges[:, :, :, :13]
+    view_d = delay_sums[:, :, :, :13]
+    assert not view_c.flags.c_contiguous
+    ref = readout_fused(view_c, view_d, SCALARS, kernel="numpy")
+    got = readout_fused(view_c, view_d, SCALARS, kernel=tier)
+    np.testing.assert_array_equal(got, ref)
+
+
+@pytest.mark.parametrize("tier", COMPILED)
+def test_tier_matches_numpy_in_place_strided(tier):
+    """The chunked walk runs in place on a strided recombine slice."""
+    charges, delay_sums = _chain_inputs(np.float64, g=1, p=24)
+    shifts = _shifts()
+    full_ref = np.empty((1, 29, 11))
+    full_got = np.empty((1, 29, 11))
+    work_ref = charges.copy()
+    work_got = charges.copy()
+    readout_fused(
+        work_ref,
+        delay_sums,
+        SCALARS,
+        out=work_ref,
+        shifts=shifts,
+        recombine_out=full_ref[:, 5:],
+        kernel="numpy",
+    )
+    readout_fused(
+        work_got,
+        delay_sums,
+        SCALARS,
+        out=work_got,
+        shifts=shifts,
+        recombine_out=full_got[:, 5:],
+        kernel=tier,
+    )
+    np.testing.assert_array_equal(work_got, work_ref)
+    np.testing.assert_array_equal(full_got[:, 5:], full_ref[:, 5:])
+
+
+@pytest.mark.parametrize("tier", TIERS)
+def test_tier_handles_empty_blocks(tier):
+    charges, delay_sums = _chain_inputs(np.float64, p=0)
+    got = readout_fused(charges, delay_sums, SCALARS, kernel=tier)
+    assert got.shape == charges.shape and got.size == 0
+
+
+@pytest.mark.parametrize("tier", COMPILED)
+def test_slice_recombine_matches_numpy(tier):
+    rng = np.random.default_rng(stable_seed("kernels", "recombine"))
+    estimates = rng.random((3, 2, 2, 19, 7))
+    shifts = _shifts()
+    ref = np.empty((2, 19, 7))
+    got = np.empty((2, 19, 7))
+    slice_recombine(shifts, estimates, ref, kernel="numpy")
+    slice_recombine(shifts, estimates, got, kernel=tier)
+    np.testing.assert_array_equal(got, ref)
+
+
+# -- float32: within float rounding of the numpy float32 chain ----------------
+
+
+@pytest.mark.parametrize("tier", COMPILED)
+@pytest.mark.parametrize("saturation", [None, 0.25])
+def test_tier_matches_numpy_f32(tier, saturation):
+    charges, delay_sums = _chain_inputs(np.float32)
+    ref = readout_fused(
+        charges, delay_sums, SCALARS, saturation=saturation, kernel="numpy"
+    )
+    got = readout_fused(
+        charges, delay_sums, SCALARS, saturation=saturation, kernel=tier
+    )
+    assert got.dtype == np.float32
+    np.testing.assert_allclose(got, ref, rtol=1e-4, atol=1e-4)
+
+
+# -- im2col: bytes and strides ------------------------------------------------
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@pytest.mark.parametrize(
+    "shape,kernel,stride,pad",
+    [
+        ((2, 3, 8, 8), 3, 1, 1),
+        ((1, 1, 7, 5), 3, 2, 0),
+        ((1, 4, 6, 6), 1, 1, 0),
+        ((2, 2, 5, 5), 5, 1, 2),
+    ],
+)
+def test_im2col_matches_numpy(tier, shape, kernel, stride, pad):
+    rng = np.random.default_rng(stable_seed("kernels", "im2col", kernel, stride))
+    x = rng.normal(size=shape)
+    ref, rh, rw = im2col_pack(x, kernel, stride=stride, pad=pad, kernel="numpy")
+    got, gh, gw = im2col_pack(x, kernel, stride=stride, pad=pad, kernel=tier)
+    assert (gh, gw) == (rh, rw)
+    assert got.shape == ref.shape and got.strides == ref.strides
+    np.testing.assert_array_equal(got, ref)
+
+
+@pytest.mark.parametrize("tier", TIERS)
+def test_im2col_empty_output_raises_on_every_tier(tier):
+    x = np.zeros((1, 1, 2, 2))
+    with pytest.raises(ValueError, match="empty output"):
+        im2col_pack(x, 5, stride=1, pad=0, kernel=tier)
+
+
+# -- the spec facade ----------------------------------------------------------
+
+
+def test_chain_spec_read_out_goes_through_dispatch():
+    spec = TimeDomainChainSpec.from_context(SimContext())
+    charges, delay_sums = _chain_inputs(np.float64, g=1)
+    ref = readout_fused(charges, delay_sums, spec.scalars(), kernel="numpy")
+    np.testing.assert_array_equal(spec.read_out(charges, delay_sums), ref)
+
+
+# -- dispatch policy ----------------------------------------------------------
+
+
+def test_numpy_tier_is_always_available():
+    assert "numpy" in TIERS
+    assert TIERS == tuple(t for t in KERNEL_TIERS if t in TIERS)  # order kept
+
+
+def test_resolve_auto_picks_first_available(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    assert resolve("auto")[0] == TIERS[0]
+    assert resolve(None)[0] == TIERS[0]
+
+
+def test_unknown_tier_raises_kernel_error():
+    with pytest.raises(KernelError, match="unknown kernel tier"):
+        resolve("fortran")
+    with pytest.raises(KernelError):
+        readout_fused(*_chain_inputs(np.float64), SCALARS, kernel="fortran")
+
+
+def test_env_override_wins_for_auto(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "numpy")
+    assert resolve("auto")[0] == "numpy"
+    assert resolve(None)[0] == "numpy"
+    # an explicit request still beats the environment
+    assert resolve(TIERS[0])[0] == TIERS[0]
+
+
+def test_env_unknown_tier_raises(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "fortran")
+    with pytest.raises(KernelError):
+        resolve(None)
+
+
+def test_unavailable_tier_degrades_with_one_warning():
+    if "numba" in TIERS:
+        pytest.skip("numba installed here; no unavailable tier to exercise")
+    dispatch.reset()
+    try:
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            name, _ = resolve("numba")
+        assert name in TIERS and name != "numba"
+        assert "numba" in dispatch.unavailable_reasons()
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second request: no re-warn
+            assert resolve("numba")[0] == name
+    finally:
+        dispatch.reset()
+
+
+def test_context_validates_kernel_and_threads():
+    assert SimContext(kernel="numpy").kernel == "numpy"
+    with pytest.raises(ValueError):
+        SimContext(kernel="fortran")
+    with pytest.raises(ValueError):
+        SimContext(threads=0)
+    # tier and threads are metadata, not semantics: equal contexts, equal keys
+    assert SimContext(kernel="numpy") == SimContext(kernel="auto", threads=4)
+
+
+# -- end-to-end: the engine is tier-invariant ---------------------------------
+
+
+def _run(model, ctx):
+    executor = NetworkExecutor(model, ctx, mode="analog")
+    result = executor.run(executor.random_batch(2))
+    return executor.state.key, result
+
+
+@pytest.mark.parametrize("tier", COMPILED)
+@pytest.mark.parametrize("noisy", [False, True])
+def test_engine_outputs_are_tier_invariant(tier, noisy):
+    from repro.circuits.noise import HardwareNoiseConfig
+
+    model = build_model("tiny_cnn")
+    noise = HardwareNoiseConfig.scaled(1.0, seed=7) if noisy else None
+    key_ref, ref = _run(model, SimContext(noise=noise, kernel="numpy"))
+    key_got, got = _run(model, SimContext(noise=noise, kernel=tier))
+    assert key_got == key_ref  # the tier is not a content-key dimension
+    np.testing.assert_array_equal(got.output, ref.output)
+    assert got.rel_error == ref.rel_error
+
+
+@pytest.mark.parametrize("tier", COMPILED)
+def test_engine_float32_outputs_are_tier_invariant(tier):
+    model = build_model("tiny_cnn")
+    _, ref = _run(model, SimContext(compute_dtype="float32", kernel="numpy"))
+    _, got = _run(model, SimContext(compute_dtype="float32", kernel=tier))
+    np.testing.assert_array_equal(got.output, ref.output)
+
+
+# -- threaded chunk walk: byte-identical at any worker count ------------------
+
+
+@pytest.mark.parametrize("tier", TIERS)
+def test_threaded_chunk_walk_is_byte_identical(tier):
+    model = build_model("tiny_cnn")
+    outputs = {}
+    for workers in (1, 2, 4):
+        ctx = SimContext(chunk_bytes=4096, threads=workers, kernel=tier)
+        _, result = _run(model, ctx)
+        outputs[workers] = result.output
+    np.testing.assert_array_equal(outputs[2], outputs[1])
+    np.testing.assert_array_equal(outputs[4], outputs[1])
+    # and the chunked threaded walk equals the unchunked serial pass
+    _, whole = _run(model, SimContext(kernel=tier))
+    np.testing.assert_array_equal(outputs[1], whole.output)
+
+
+def test_threads_without_chunking_is_a_no_op():
+    model = build_model("tiny_cnn")
+    _, serial = _run(model, SimContext())
+    _, threaded = _run(model, SimContext(threads=4))
+    np.testing.assert_array_equal(threaded.output, serial.output)
+
+
+# -- the environment this matrix actually covered -----------------------------
+
+
+def test_compiled_tier_present_unless_explicitly_waived():
+    """CI builds the compiled tier; a numpy-only box documents why."""
+    if os.environ.get("REPRO_EXPECT_KERNEL") == "c":
+        assert "c" in TIERS, dispatch.unavailable_reasons()
